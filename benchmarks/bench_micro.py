@@ -1,0 +1,122 @@
+"""Micro-benchmarks: throughput of the hot inner operations.
+
+These are honest pytest-benchmark measurements (many rounds), useful for
+tracking performance of the simulation substrate itself: log algebra,
+quorum counting, state handling, event-loop dispatch, and a full
+small-scale protocol view.
+"""
+
+from __future__ import annotations
+
+from repro.chain.log import Log
+from repro.core.quorum import majority_chain
+from repro.core.state import LogView
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.vrf import VRF
+from repro.harness import stable_scenario
+from repro.net.messages import Envelope, LogMessage
+from repro.sim.simulator import EventPriority, Simulator
+from tests.conftest import chain_of, make_tx
+
+REGISTRY = KeyRegistry(64, seed=0)
+
+
+class TestLogOps:
+    def test_append_block(self, benchmark):
+        log = chain_of(10)
+        benchmark(lambda: log.append_block([make_tx(1)], proposer=0, view=0))
+
+    def test_prefix_check_long_chain(self, benchmark):
+        log = chain_of(50)
+        prefix = log.prefix(25)
+        assert benchmark(lambda: prefix.prefix_of(log))
+
+    def test_conflict_check(self, benchmark):
+        base = chain_of(20)
+        a = base.append_block([make_tx(1)], 0, 0)
+        b = base.append_block([make_tx(2)], 1, 0)
+        assert benchmark(lambda: a.conflicts_with(b))
+
+
+class TestQuorumOps:
+    def test_majority_chain_64_senders(self, benchmark):
+        log = chain_of(8)
+        pairs = frozenset((vid, log) for vid in range(64))
+        result = benchmark(lambda: majority_chain(pairs, 64))
+        assert result[-1] == log
+
+    def test_majority_chain_split(self, benchmark):
+        base = chain_of(4)
+        a = base.append_block([make_tx(1)], 0, 0)
+        b = base.append_block([make_tx(2)], 1, 0)
+        pairs = frozenset((vid, a if vid % 2 else b) for vid in range(64))
+        result = benchmark(lambda: majority_chain(pairs, 64))
+        assert result[-1] == base
+
+
+class TestStateOps:
+    def _envelopes(self, count):
+        log = chain_of(3)
+        envelopes = []
+        for vid in range(count):
+            payload = LogMessage(ga_key=("m", 0), log=log)
+            envelopes.append(
+                Envelope(
+                    payload=payload,
+                    signature=REGISTRY.key_for(vid).sign(payload.digest()),
+                )
+            )
+        return envelopes
+
+    def test_handle_64_log_messages(self, benchmark):
+        envelopes = self._envelopes(64)
+
+        def run():
+            view = LogView()
+            for envelope in envelopes:
+                view.handle(envelope)
+            return view.sender_count()
+
+        assert benchmark(run) == 64
+
+
+class TestCryptoOps:
+    def test_sign_and_verify(self, benchmark):
+        key = REGISTRY.key_for(0)
+        payload = LogMessage(ga_key=("m", 0), log=chain_of(2))
+        digest = payload.digest()
+
+        def run():
+            return REGISTRY.verify(key.sign(digest), digest)
+
+        assert benchmark(run)
+
+    def test_vrf_ranking_64(self, benchmark):
+        vrf = VRF(seed=1)
+        ids = list(range(64))
+        benchmark(lambda: vrf.best(ids, view=5))
+
+
+class TestSimulatorOps:
+    def test_event_dispatch_throughput(self, benchmark):
+        def run():
+            sim = Simulator()
+            counter = [0]
+            for t in range(1000):
+                sim.schedule(t, EventPriority.TIMER, lambda: counter.__setitem__(0, counter[0] + 1))
+            sim.run_until(1000)
+            return counter[0]
+
+        assert benchmark(run) == 1000
+
+
+class TestEndToEnd:
+    def test_full_view_n8(self, benchmark):
+        """One complete TOB-SVD view cycle at n=8 (setup + 2 views)."""
+
+        def run():
+            protocol = stable_scenario(n=8, num_views=2, delta=2, seed=0)
+            result = protocol.run()
+            return len(result.trace.decisions)
+
+        assert benchmark(run) > 0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Run TOB-SVD through every implemented attack and report the outcomes.
+
+The gauntlet:
+1. silent Byzantine validators (crash faults),
+2. double-voters (GA-level equivocation),
+3. equivocating proposers (split-vote leader attack),
+4. mildly-adaptive leader corruption (the paper's model — harmless),
+5. fully-adaptive leader corruption (outside the model — stalls views).
+
+Safety must hold in every single case; liveness degrades exactly where the
+paper says it does.
+
+Run:  python examples/adversarial_gauntlet.py
+"""
+
+from repro.adversary import plan_leader_corruption_run
+from repro.analysis.metrics import check_safety, count_new_blocks
+from repro.core.tobsvd import TobSvdConfig
+from repro.harness import equivocating_scenario
+
+N, F, VIEWS, DELTA = 10, 4, 10, 4
+
+
+def run_attack(name: str, attacker: str):
+    protocol = equivocating_scenario(
+        n=N, f=F, num_views=VIEWS, delta=DELTA, seed=1, attacker=attacker
+    )
+    result = protocol.run()
+    return name, check_safety(result.trace).safe, count_new_blocks(result.trace)
+
+
+def run_leader_killer(mildly_adaptive: bool):
+    config = TobSvdConfig(n=8, num_views=VIEWS, delta=DELTA, seed=3)
+    attacked = [3, 4, 5]
+    protocol, _driver, _kills = plan_leader_corruption_run(
+        config, views_to_attack=attacked, mildly_adaptive=mildly_adaptive
+    )
+    result = protocol.run()
+    label = "mildly-adaptive leader kill" if mildly_adaptive else "fully-adaptive leader kill"
+    return label, check_safety(result.trace).safe, count_new_blocks(result.trace)
+
+
+def main() -> None:
+    print(f"gauntlet: n={N}, f={F} Byzantine, {VIEWS} views\n")
+    outcomes = [
+        run_attack("silent (crash)", "silent"),
+        run_attack("double-voter", "double-voter"),
+        run_attack("equivocating proposer", "equivocating-proposer"),
+        run_leader_killer(mildly_adaptive=True),
+        run_leader_killer(mildly_adaptive=False),
+    ]
+    print(f"{'attack':32s} {'safety':>8s} {'blocks':>8s}")
+    for name, safe, blocks in outcomes:
+        print(f"{name:32s} {'OK' if safe else 'BROKEN':>8s} {blocks:>5}/{VIEWS}")
+
+    assert all(safe for _name, safe, _blocks in outcomes), "SAFETY VIOLATION"
+    print("\nsafety held under every attack.")
+    print("liveness: only the (model-violating) fully-adaptive attack and the")
+    print("equivocating proposer stall views, exactly as the paper predicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""A permissionless-blockchain-flavoured scenario.
+
+This is the workload the paper's introduction motivates: a large validator
+set with *fluctuating participation* (validators napping and rejoining)
+and a Byzantine minority running the split-proposal attack, while users
+submit transactions at random times.
+
+The script reports per-view progress, confirmation latency percentiles and
+the empirical leader-failure rate.
+
+Run:  python examples/blockchain_sim.py
+"""
+
+import random
+from statistics import mean, median
+
+from repro.adversary import make_tob_attacker_factory
+from repro.analysis.latency import confirmation_times_deltas
+from repro.analysis.metrics import check_safety, count_new_blocks
+from repro.chain.transactions import TransactionPool
+from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol
+from repro.sleepy import AwakeSchedule, CorruptionPlan
+from repro.sleepy.compliance import check_compliance
+from repro.sleepy.participation import ParticipationModel
+
+N = 14
+BYZANTINE = 4
+VIEWS = 16
+DELTA = 4
+SEED = 7
+
+
+def main() -> None:
+    config = TobSvdConfig(n=N, num_views=VIEWS, delta=DELTA, seed=SEED)
+    rng = random.Random(SEED)
+
+    # Two honest validators churn: awake a couple of views, nap, rejoin.
+    schedule = AwakeSchedule.random_churn(
+        n=N,
+        horizon=config.horizon,
+        rng=rng,
+        churners=[0, 1],
+        min_awake=2 * config.time.view_ticks,
+        min_asleep=7 * DELTA,
+    )
+    corruption = CorruptionPlan.static(frozenset(range(N - BYZANTINE, N)))
+
+    # Check the run is inside the (5Δ, 2Δ, ½)-sleepy model before running.
+    t_b, t_s, rho = config.sleepy_model()
+    model = ParticipationModel(schedule=schedule, corruption=corruption)
+    report = check_compliance(model, t_b, t_s, rho, config.horizon)
+    print(f"sleepy-model compliant: {report.compliant} "
+          f"(min margin {report.min_margin:.1f} at t={report.min_margin_time})")
+
+    pool = TransactionPool()
+    protocol = TobSvdProtocol(
+        config,
+        schedule=schedule,
+        corruption=corruption,
+        byzantine_factory=make_tob_attacker_factory("equivocating-proposer"),
+        pool=pool,
+    )
+
+    # Users submit transactions at random times over the first 3/4 of the run.
+    txs = [
+        pool.submit(payload=f"user-tx-{i}", at_time=rng.randint(1, 3 * config.horizon // 4))
+        for i in range(40)
+    ]
+
+    result = protocol.run()
+
+    print(f"\n{N} validators ({BYZANTINE} Byzantine equivocators), {VIEWS} views")
+    print(f"safety: {check_safety(result.trace).safe}")
+    blocks = count_new_blocks(result.trace)
+    print(f"blocks decided: {blocks}/{VIEWS} "
+          f"(leader-failure rate {(VIEWS - blocks) / VIEWS:.2f}, "
+          f"adversary stake {BYZANTINE / N:.2f})")
+
+    print("\nper-view outcome:")
+    decided_views = {
+        block.view
+        for event in result.trace.decisions
+        for block in event.log.blocks
+        if not block.is_genesis
+    }
+    for view in range(VIEWS):
+        status = "decided" if view in decided_views else "stalled (Byzantine leader)"
+        print(f"  view {view:>2}: {status}")
+
+    latencies = confirmation_times_deltas(result.trace, txs, DELTA)
+    unconfirmed = len(txs) - len(latencies)
+    print(f"\ntransaction confirmation ({len(latencies)}/{len(txs)} confirmed, "
+          f"{unconfirmed} submitted too late for the horizon):")
+    if latencies:
+        print(f"  mean   {mean(latencies):6.2f}Δ")
+        print(f"  median {median(latencies):6.2f}Δ")
+        print(f"  min    {min(latencies):6.2f}Δ   max {max(latencies):6.2f}Δ")
+    print(f"\nnetwork: {result.network.stats.deliveries} deliveries, "
+          f"{result.network.stats.weighted_deliveries} weighted units")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare the three Graded Agreement protocols under one equivocation attack.
+
+Runs the paper's GA-2 (Figure 1), GA-3 (Figure 2), the naive GA-2 variant
+(without the equivocator time-shift) and the Momose-Ren GA (Section 4)
+against the same delayed-equivocation adversary, and prints what each
+honest validator outputs at each grade.
+
+This makes the paper's two key design points visible in one screen:
+* the naive variant produces a stale grade-1 output nobody else delivered
+  (a Graded Delivery violation);
+* MR's grade-0 tally can certify both sides of a fork (a Uniqueness
+  violation), which the paper's GA-2 repairs.
+
+Run:  python examples/ga_playground.py
+"""
+
+from repro.adversary.base import ByzantineValidator
+from repro.baselines import run_mr_ga
+from repro.chain.log import Log
+from repro.core import GA2_SPEC, run_standalone_ga
+from repro.core.ga import GA3_SPEC, NAIVE_GA2_SPEC
+from repro.net.messages import LogMessage, VoteMessage
+from repro.sleepy import CorruptionPlan
+
+DELTA = 4
+
+
+def fork(base: Log, tag: int) -> Log:
+    from repro.chain.transactions import Transaction
+
+    return base.append_block(
+        [Transaction(tx_id=1000 + tag, payload=f"fork-{tag}")], proposer=0, view=0
+    )
+
+
+class DelayedEquivocator(ByzantineValidator):
+    """Supports A early, reveals the conflicting B exactly at 2Δ."""
+
+    def __init__(self, vid, key, sim, net, trace, ga_key, log_a, log_b, vote=False):
+        super().__init__(vid, key, sim, net, trace)
+        self._ga_key, self._a, self._b, self._vote = ga_key, log_a, log_b, vote
+
+    def setup(self):
+        everyone = list(self._network.node_ids)
+        self.at(0, lambda: self.send_to(LogMessage(self._ga_key, self._a), everyone, 0))
+        self.at(DELTA, lambda: self.send_to(LogMessage(self._ga_key, self._b), everyone, DELTA))
+        if self._vote:  # MR only: vote for both forks
+            self.at(2 * DELTA, lambda: (
+                self.broadcast(VoteMessage(self._ga_key, self._a)),
+                self.broadcast(VoteMessage(self._ga_key, self._b)),
+            ))
+
+
+def describe(tag: str, outputs, honest, log_a, log_b, k):
+    print(f"\n== {tag} ==")
+    for vid in sorted(honest):
+        cells = []
+        for grade in range(k):
+            outs = outputs[vid][grade]
+            if outs is None:
+                cells.append(f"g{grade}: (not participating)")
+                continue
+            names = []
+            for log in outs:
+                if log == log_a:
+                    names.append("A")
+                elif log == log_b:
+                    names.append("B")
+                else:
+                    names.append(f"len{len(log)}")
+            cells.append(f"g{grade}: [{', '.join(names)}]")
+        print(f"  v{vid}: " + "   ".join(cells))
+
+
+def main() -> None:
+    base = Log.genesis().append_block([], proposer=0, view=0)
+    log_a, log_b = fork(base, 1), fork(base, 2)
+    n, byz = 5, 2
+    honest = list(range(n - byz))
+    inputs = {0: log_a, 1: log_b, 2: log_b}
+    corruption = CorruptionPlan.static(frozenset(range(n - byz, n)))
+
+    print("setup: 3 honest validators (1 inputs fork A, 2 input fork B),")
+    print("       2 Byzantine delayed equivocators (support A early, reveal B at 2Δ)")
+
+    for tag, spec in (
+        ("paper GA-2 (Figure 1)", GA2_SPEC),
+        ("naive GA-2 (no V^Δ∩V^3Δ intersection)", NAIVE_GA2_SPEC),
+        ("paper GA-3 (Figure 2)", GA3_SPEC),
+    ):
+        key = (spec.name, 0)
+        result = run_standalone_ga(
+            spec, n=n, delta=DELTA, inputs=inputs, corruption=corruption,
+            byzantine_factory=lambda vid, k_, s, net, tr, key=key: DelayedEquivocator(
+                vid, k_, s, net, tr, key, log_a, log_b
+            ),
+        )
+        describe(tag, result.outputs, result.honest_ids, log_a, log_b, spec.k)
+
+    mr = run_mr_ga(
+        n=7, delta=DELTA,
+        inputs={0: log_a, 1: log_b, 2: log_a, 3: log_b},
+        corruption=CorruptionPlan.static(frozenset({4, 5, 6})),
+        byzantine_factory=lambda vid, k_, s, net, tr: DelayedEquivocator(
+            vid, k_, s, net, tr, ("mr-ga", 0), log_a, log_b, vote=True
+        ),
+    )
+    describe("Momose-Ren GA (Section 4)", mr.outputs, mr.honest_ids, log_a, log_b, 2)
+    print("\nnote the stale fork output at grade 1 in the naive variant, and")
+    print("MR validators certifying both A and B at grade 0 — the paper's GA-2")
+    print("shows neither behaviour under the identical attack.")
+
+
+if __name__ == "__main__":
+    main()

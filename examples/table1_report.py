@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table 1: paper vs analytic model vs measured.
+
+Runs the full measurement suite (real TOB-SVD simulations plus the
+structural baseline simulators) and prints the three-way comparison.
+Takes ~20 seconds.
+
+Run:  python examples/table1_report.py
+"""
+
+from repro.analysis.table1 import build_table1, render_table1
+from repro.baselines.structure import TABLE1_ORDER
+from repro.harness.runner import (
+    measure_best_case_latency,
+    measure_expected_latency,
+    measure_structural_protocol,
+    measure_voting_phases,
+)
+
+
+def main() -> None:
+    print("measuring TOB-SVD (real protocol)...")
+    best = measure_best_case_latency(n=8, delta=4)
+    expected = measure_expected_latency(n=10, f=4, num_views=16, delta=2, seeds=(0, 1))
+    phases_best = measure_voting_phases(n=10, f=0, num_views=10, delta=2)
+    phases_exp = measure_voting_phases(n=10, f=4, num_views=16, delta=2)
+
+    measured = {
+        "tobsvd": {
+            "best_case": best.min_deltas,
+            "expected": round(expected.mean_deltas, 2),
+            "phases_best": phases_best,
+            "phases_expected": round(phases_exp, 2) if phases_exp else None,
+        }
+    }
+
+    for name in TABLE1_ORDER:
+        if name == "tobsvd":
+            continue
+        print(f"measuring {name} (structural simulator)...")
+        row = measure_structural_protocol(name, n=10, f=4, num_views_adversarial=16)
+        measured[name] = {
+            "best_case": row.best_case_deltas,
+            "expected": round(row.expected_deltas, 2),
+            "tx_expected": round(row.tx_expected_deltas, 2),
+            "phases_best": row.phases_best,
+            "phases_expected": round(row.phases_expected, 2) if row.phases_expected else None,
+        }
+
+    report = build_table1(measured=measured)
+    print()
+    print(render_table1(report))
+    print("notes:")
+    print(" * 'model' rows assume the paper's idealised good-leader probability 1/2;")
+    print("   'measured' rows carry each run's empirical leader-failure rate, so")
+    print("   expected-case cells sit below the model (fewer than half the views fail).")
+    print(" * MR's paper tx-expected latency (50.5Δ) exceeds the structural model (40Δ);")
+    print("   see EXPERIMENTS.md for the discussion. The ordering is unaffected.")
+    for metric in ("best_case", "expected", "phases_best", "phases_expected"):
+        assert report.shape_holds(metric, source="model"), metric
+    print("\nshape check passed: protocol ordering matches the paper on every metric.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — a reproduction of "TOB-SVD: Total-Order Broadcast with
+Single-Vote Decisions in the Sleepy Model" (D'Amato, Saltini, Tran,
+Zanolini; arXiv 2310.11331).
+
+Public entry points:
+
+* :class:`repro.core.TobSvdProtocol` / :class:`repro.core.TobSvdConfig` —
+  run the paper's protocol;
+* :func:`repro.core.run_standalone_ga` with :data:`repro.core.GA2_SPEC` /
+  :data:`repro.core.GA3_SPEC` — run a single Graded Agreement instance;
+* :mod:`repro.harness` — pre-canned scenarios and the experiment runner;
+* :mod:`repro.analysis` — Table-1/figure regeneration from run traces.
+"""
+
+__version__ = "1.0.0"
+
+from repro.chain import Log, Transaction, TransactionPool, genesis_log
+from repro.core import (
+    GA2_SPEC,
+    GA3_SPEC,
+    TobSvdConfig,
+    TobSvdProtocol,
+    run_standalone_ga,
+)
+
+__all__ = [
+    "Log",
+    "Transaction",
+    "TransactionPool",
+    "genesis_log",
+    "GA2_SPEC",
+    "GA3_SPEC",
+    "TobSvdConfig",
+    "TobSvdProtocol",
+    "run_standalone_ga",
+    "__version__",
+]

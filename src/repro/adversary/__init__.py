@@ -1,0 +1,47 @@
+"""Adversary strategies.
+
+Byzantine validators "may deviate arbitrarily" (Section 3.1); this package
+implements the deviations the paper's analysis has to survive — plus the
+ones used by the ablations to show the model assumptions are tight:
+
+* :mod:`repro.adversary.base` — shared Byzantine-node machinery (always
+  awake, owns its signing key, may send different messages to different
+  validators with chosen sub-Delta delays);
+* :mod:`repro.adversary.ga_attackers` — attacks on standalone GA
+  instances: silence, equivocation, split-delivery equivocation;
+* :mod:`repro.adversary.tob_attackers` — attacks on TOB-SVD: equivocating
+  proposers (the leader-failure adversary behind the expected-latency
+  numbers), double voters, silent validators;
+* :mod:`repro.adversary.leader_killer` — the adaptive-corruption attack of
+  Section 3.3, in both mildly-adaptive (harmless, by design) and
+  fully-adaptive (liveness-breaking) variants.
+"""
+
+from repro.adversary.base import ByzantineValidator
+from repro.adversary.ga_attackers import (
+    GaEquivocator,
+    GaSilent,
+    GaSplitEquivocator,
+    make_ga_attacker_factory,
+)
+from repro.adversary.leader_killer import LeaderKillerDriver, plan_leader_corruption_run
+from repro.adversary.tob_attackers import (
+    TobDoubleVoter,
+    TobEquivocatingProposer,
+    TobSilent,
+    make_tob_attacker_factory,
+)
+
+__all__ = [
+    "ByzantineValidator",
+    "GaEquivocator",
+    "GaSilent",
+    "GaSplitEquivocator",
+    "make_ga_attacker_factory",
+    "LeaderKillerDriver",
+    "plan_leader_corruption_run",
+    "TobDoubleVoter",
+    "TobEquivocatingProposer",
+    "TobSilent",
+    "make_tob_attacker_factory",
+]

@@ -1,0 +1,44 @@
+"""Analysis: everything that turns run traces into the paper's numbers.
+
+* :mod:`repro.analysis.latency` — confirmation times (Section 2's
+  definitions: best-case, expected, transaction-expected latency);
+* :mod:`repro.analysis.metrics` — voting phases per block, decided-block
+  counts, safety/liveness checks over traces;
+* :mod:`repro.analysis.complexity` — message-count scaling in n and the
+  O(Ln^2) / O(Ln^3) classification;
+* :mod:`repro.analysis.table1` — assembles and renders the full Table 1
+  (paper values vs analytic model vs measured);
+* :mod:`repro.analysis.timeline` — regenerates Figure 3's view/GA overlap
+  diagram from an actual TOB-SVD trace.
+"""
+
+from repro.analysis.complexity import fit_exponent, classify_complexity
+from repro.analysis.latency import (
+    confirmation_time_ticks,
+    confirmation_times_deltas,
+    proposal_anchored_latency_deltas,
+)
+from repro.analysis.metrics import (
+    check_safety,
+    count_new_blocks,
+    decided_transactions,
+    voting_phases_per_block,
+)
+from repro.analysis.table1 import Table1Report, build_table1, render_table1
+from repro.analysis.timeline import render_timeline
+
+__all__ = [
+    "fit_exponent",
+    "classify_complexity",
+    "confirmation_time_ticks",
+    "confirmation_times_deltas",
+    "proposal_anchored_latency_deltas",
+    "check_safety",
+    "count_new_blocks",
+    "decided_transactions",
+    "voting_phases_per_block",
+    "Table1Report",
+    "build_table1",
+    "render_table1",
+    "render_timeline",
+]

@@ -1,0 +1,89 @@
+"""Wall-clock latency under signature-aggregation accounting (Section 1).
+
+The paper's practical motivation: "these protocols often require a
+signature aggregation process where messages are first sent to
+aggregators who then distribute the aggregated signatures, causing voting
+phases to require double the normal network latency" — in Ethereum, a
+voting phase effectively takes 2Δ.
+
+This module re-prices every protocol's Table-1 latencies under that
+accounting: each voting phase on the critical path costs one extra Δ
+(and failed views stretch by their own phase count).  The result is the
+quantitative version of the paper's Section-1 argument: protocols are
+separated far more by their *voting-phase count* than by their nominal
+Δ-latency once aggregation is priced in — TOB-SVD's single-vote design
+goes from slightly-worse-than-MMR2 (6Δ vs 4Δ) to tying it in the best
+case and beating it 2× in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.structure import PROTOCOL_STRUCTURES, ProtocolStructure, TABLE1_ORDER
+
+
+@dataclass(frozen=True)
+class AggregatedLatency:
+    """One protocol's latencies with 2Δ voting phases."""
+
+    protocol: str
+    best_case_deltas: float
+    expected_deltas: float
+    view_length_deltas: float
+
+    def speedup_vs(self, other: "AggregatedLatency") -> float:
+        """How much faster this protocol is in expectation (ratio > 1 = faster)."""
+
+        return other.expected_deltas / self.expected_deltas
+
+
+def aggregated_latency(
+    structure: ProtocolStructure, p_good: float = 0.5
+) -> AggregatedLatency:
+    """Re-price a protocol's latencies with +1Δ per voting phase.
+
+    * best case: the decision path contains ``phases_success_view`` voting
+      phases, each stretched from Δ to 2Δ;
+    * a failed view stretches by its own ``phases_failure_view``;
+    * expected = stretched best + E[failures] * stretched view length.
+    """
+
+    best = structure.best_case_latency_deltas + structure.phases_success_view
+    stretched_view = structure.view_length_deltas + structure.phases_failure_view
+    failures = structure.expected_failures_per_block(p_good)
+    expected = best + failures * stretched_view
+    return AggregatedLatency(
+        protocol=structure.name,
+        best_case_deltas=best,
+        expected_deltas=expected,
+        view_length_deltas=stretched_view,
+    )
+
+
+def aggregation_table(p_good: float = 0.5) -> dict[str, AggregatedLatency]:
+    """Aggregated latencies for every Table-1 protocol."""
+
+    return {
+        name: aggregated_latency(PROTOCOL_STRUCTURES[name], p_good)
+        for name in TABLE1_ORDER
+    }
+
+
+def render_aggregation_table(p_good: float = 0.5) -> str:
+    """Nominal vs aggregation-priced latencies, per protocol."""
+
+    rows = aggregation_table(p_good)
+    lines = [
+        "latency with 2Δ voting phases (signature aggregation, Section 1)",
+        f"{'protocol':10s} {'best(Δ)':>8s} {'best+agg':>9s} {'exp(Δ)':>8s} {'exp+agg':>8s}",
+    ]
+    for name in TABLE1_ORDER:
+        structure = PROTOCOL_STRUCTURES[name]
+        priced = rows[name]
+        lines.append(
+            f"{structure.display_name:10s} "
+            f"{structure.best_case_latency_deltas:>8.0f} {priced.best_case_deltas:>9.0f} "
+            f"{structure.expected_latency_deltas(p_good):>8.0f} {priced.expected_deltas:>8.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Communication-complexity measurement (Table 1, last row).
+
+The forwarding protocols (TOB-SVD, MR, MMR2, GL) deliver O(Ln^3) message
+units per decision — every one of n validators forwards every one of n
+senders' messages to all n recipients — while the non-forwarding MMR
+variants stay at O(Ln^2).  We *measure* this by running a protocol at
+several validator counts, counting per-view weighted deliveries, and
+fitting the growth exponent on a log-log scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def fit_exponent(ns: Sequence[int], counts: Sequence[float]) -> float:
+    """Least-squares slope of log(count) against log(n)."""
+
+    if len(ns) != len(counts) or len(ns) < 2:
+        raise ValueError("need at least two (n, count) points")
+    if any(n <= 0 for n in ns) or any(c <= 0 for c in counts):
+        raise ValueError("points must be positive for a log-log fit")
+    log_n = np.log(np.asarray(ns, dtype=float))
+    log_c = np.log(np.asarray(counts, dtype=float))
+    slope, _intercept = np.polyfit(log_n, log_c, 1)
+    return float(slope)
+
+
+def classify_complexity(exponent: float, threshold: float = 2.5) -> str:
+    """Map a fitted exponent to the Table-1 complexity class."""
+
+    return "O(Ln^3)" if exponent >= threshold else "O(Ln^2)"
+
+
+@dataclass(frozen=True)
+class ScalingMeasurement:
+    """Message scaling of one protocol across validator counts."""
+
+    protocol: str
+    ns: tuple[int, ...]
+    weighted_deliveries: tuple[float, ...]
+    exponent: float
+    complexity_class: str
+
+
+def measure_scaling(
+    protocol: str,
+    run_and_count: Callable[[int], float],
+    ns: Sequence[int],
+) -> ScalingMeasurement:
+    """Run ``run_and_count(n)`` for each n and fit the exponent.
+
+    ``run_and_count`` executes one run at the given validator count and
+    returns its weighted delivery count (normalised however the caller
+    likes, e.g. per decided block).
+    """
+
+    counts = [run_and_count(n) for n in ns]
+    exponent = fit_exponent(list(ns), counts)
+    return ScalingMeasurement(
+        protocol=protocol,
+        ns=tuple(ns),
+        weighted_deliveries=tuple(counts),
+        exponent=exponent,
+        complexity_class=classify_complexity(exponent),
+    )

@@ -1,0 +1,111 @@
+"""Trace metrics: voting phases per block, safety, liveness.
+
+A *voting phase* (paper footnote 3) is a point in time when honest
+validators compute and send a new message.  The per-block metric divides
+the number of distinct protocol-wide voting-phase times by the number of
+new blocks decided, which reproduces Table 1's rows 5-6: a protocol that
+spends one phase per view and decides a block in every view scores 1;
+with a bad leader every other view, the same protocol scores 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.log import Log
+from repro.chain.transactions import Transaction
+from repro.trace import Trace
+
+
+@dataclass(frozen=True)
+class SafetyReport:
+    """Outcome of the pairwise-compatibility check over all decisions."""
+
+    safe: bool
+    conflict: tuple | None = None  # (event_a, event_b) on violation
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.safe
+
+
+def check_safety(trace: Trace) -> SafetyReport:
+    """Safety: every pair of decided logs must be compatible.
+
+    Cross-validator *and* same-validator pairs are checked; the paper's
+    Safety property quantifies over any two honest decisions.
+    """
+
+    decisions = trace.decisions
+    # Comparing only maximal logs per validator is not enough: conflicting
+    # short logs at different validators must be caught too.  Distinct logs
+    # are usually few, so deduplicate first.
+    distinct: dict[str, tuple[Log, object]] = {}
+    for event in decisions:
+        distinct.setdefault(event.log.log_id, (event.log, event))
+    logs = list(distinct.values())
+    for i, (log_a, ev_a) in enumerate(logs):
+        for log_b, ev_b in logs[i + 1 :]:
+            if log_a.conflicts_with(log_b):
+                return SafetyReport(safe=False, conflict=(ev_a, ev_b))
+    return SafetyReport(safe=True)
+
+
+def count_new_blocks(trace: Trace) -> int:
+    """Number of distinct non-genesis blocks ever decided."""
+
+    blocks: set[str] = set()
+    for event in trace.decisions:
+        for block in event.log.blocks:
+            if not block.is_genesis:
+                blocks.add(block.block_id)
+    return len(blocks)
+
+
+def voting_phases_per_block(trace: Trace, protocol: str) -> float | None:
+    """Distinct voting-phase times divided by new blocks decided.
+
+    Returns None when no block was decided (the ratio is undefined).
+    """
+
+    phases = len(trace.vote_phase_times(protocol))
+    blocks = count_new_blocks(trace)
+    if blocks == 0:
+        return None
+    return phases / blocks
+
+
+def decided_transactions(trace: Trace) -> set[int]:
+    """Ids of every transaction in some decided log."""
+
+    tx_ids: set[int] = set()
+    for event in trace.decisions:
+        for tx in event.log.transactions():
+            tx_ids.add(tx.tx_id)
+    return tx_ids
+
+
+def all_confirmed(trace: Trace, txs: list[Transaction]) -> bool:
+    """Liveness check: every transaction of ``txs`` reached a decided log."""
+
+    confirmed = decided_transactions(trace)
+    return all(tx.tx_id in confirmed for tx in txs)
+
+
+def decision_times_by_view(trace: Trace) -> dict[int, int]:
+    """Earliest decision time per view (views with no decision absent)."""
+
+    result: dict[int, int] = {}
+    for event in trace.decisions:
+        current = result.get(event.view)
+        if current is None or event.time < current:
+            result[event.view] = event.time
+    return result
+
+
+def chain_growth(trace: Trace) -> int:
+    """Length (in blocks, excluding genesis) of the longest decided log."""
+
+    best = 0
+    for event in trace.decisions:
+        best = max(best, len(event.log) - 1)
+    return best

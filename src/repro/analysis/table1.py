@@ -1,0 +1,138 @@
+"""Assemble and render Table 1: paper vs analytic model vs measurement.
+
+The report has one column per protocol (in the paper's order) and one row
+per metric.  Three value sources per cell:
+
+* ``paper`` — the published number, verbatim;
+* ``model`` — computed from the protocol's :class:`ProtocolStructure`
+  via the analytic identities of :mod:`repro.baselines.structure`;
+* ``measured`` — supplied by the caller from actual simulation runs
+  (the Table-1 benchmarks fill these in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.structure import (
+    PAPER_TABLE1,
+    PROTOCOL_STRUCTURES,
+    TABLE1_ORDER,
+)
+
+METRICS = [
+    ("resilience", "Adversarial resilience"),
+    ("best_case", "Best-case latency (Δ)"),
+    ("expected", "Expected latency (Δ)"),
+    ("tx_expected", "Transaction expected latency (Δ)"),
+    ("phases_best", "Voting phases / block (best)"),
+    ("phases_expected", "Voting phases / block (expected)"),
+    ("complexity", "Communication complexity"),
+]
+
+
+@dataclass
+class Table1Report:
+    """All cells of the reproduced Table 1."""
+
+    paper: dict[str, dict[str, object]]
+    model: dict[str, dict[str, object]]
+    measured: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def cell(self, protocol: str, metric: str) -> dict[str, object]:
+        """All three sources for one (protocol, metric) cell."""
+
+        return {
+            "paper": self.paper.get(protocol, {}).get(metric),
+            "model": self.model.get(protocol, {}).get(metric),
+            "measured": self.measured.get(protocol, {}).get(metric),
+        }
+
+    def shape_holds(self, metric: str, source: str = "model") -> bool:
+        """Does the chosen source rank protocols like the paper does?
+
+        The reproduction contract is *shape*, not absolute numbers: the
+        ordering of protocols on each (numeric) metric must match.
+        """
+
+        paper_vals = []
+        other_vals = []
+        for protocol in TABLE1_ORDER:
+            p = self.paper.get(protocol, {}).get(metric)
+            o = (self.model if source == "model" else self.measured).get(
+                protocol, {}
+            ).get(metric)
+            if isinstance(p, (int, float)) and isinstance(o, (int, float)):
+                paper_vals.append((protocol, float(p)))
+                other_vals.append((protocol, float(o)))
+        if len(paper_vals) < 2:
+            return True
+        paper_rank = [p for p, _v in sorted(paper_vals, key=lambda kv: kv[1])]
+        other_rank = [p for p, _v in sorted(other_vals, key=lambda kv: kv[1])]
+        return paper_rank == other_rank
+
+
+def build_model_rows(p_good: float = 0.5) -> dict[str, dict[str, object]]:
+    """Analytic Table-1 rows from the structure descriptors."""
+
+    rows: dict[str, dict[str, object]] = {}
+    for name, structure in PROTOCOL_STRUCTURES.items():
+        rows[name] = {
+            "resilience": f"{structure.resilience.numerator}/{structure.resilience.denominator}",
+            "best_case": structure.best_case_latency_deltas,
+            "expected": structure.expected_latency_deltas(p_good),
+            "tx_expected": structure.transaction_expected_latency_deltas(p_good),
+            "phases_best": structure.voting_phases_best(),
+            "phases_expected": structure.voting_phases_expected(p_good),
+            "complexity": structure.communication_complexity(),
+        }
+    return rows
+
+
+def build_table1(
+    measured: dict[str, dict[str, object]] | None = None, p_good: float = 0.5
+) -> Table1Report:
+    """Build the full report; ``measured`` cells are optional."""
+
+    return Table1Report(
+        paper={k: dict(v) for k, v in PAPER_TABLE1.items()},
+        model=build_model_rows(p_good),
+        measured=measured or {},
+    )
+
+
+def _format(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_table1(report: Table1Report, sources: tuple[str, ...] = ("paper", "model", "measured")) -> str:
+    """ASCII rendering, one block per source, protocols as columns."""
+
+    lines: list[str] = []
+    header = ["metric"] + [
+        PROTOCOL_STRUCTURES[name].display_name for name in TABLE1_ORDER
+    ]
+    col_width = max(len(h) for h in header) + 2
+    metric_width = max(len(label) for _key, label in METRICS) + 2
+
+    def row(cells: list[str]) -> str:
+        first, rest = cells[0], cells[1:]
+        return first.ljust(metric_width) + "".join(c.rjust(col_width) for c in rest)
+
+    for source in sources:
+        table = getattr(report, source if source != "measured" else "measured")
+        if source == "measured" and not table:
+            continue
+        lines.append(f"== Table 1 ({source}) ==")
+        lines.append(row(header))
+        for key, label in METRICS:
+            cells = [label] + [
+                _format(table.get(name, {}).get(key)) for name in TABLE1_ORDER
+            ]
+            lines.append(row(cells))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Baseline protocols from Table 1.
+
+* :mod:`repro.baselines.mr_ga` — a **full implementation** of Momose and
+  Ren's Graded Agreement (paper Section 4), the starting point TOB-SVD
+  improves on.  It runs on the same network substrate as our GA-2/GA-3 and
+  is subjected to the same property tests — including the demonstration
+  that it does *not* satisfy Uniqueness at grade 0, the deficiency the
+  paper's GA-2 fixes.
+* :mod:`repro.baselines.structure` — per-protocol structure descriptors
+  (view length, voting phases, decision offset, resilience, forwarding
+  behaviour) and the analytic latency model; together these regenerate
+  every row of Table 1 analytically.
+* :mod:`repro.baselines.structural_tob` — runnable, message-exchanging
+  view simulators driven by a structure descriptor.  These *measure* the
+  Table-1 quantities (latency in Δ, voting phases per block, delivered
+  messages vs n) for MR, MMR2, GL, 1/3MMR and 1/4MMR, whose full
+  specifications live in external papers (see DESIGN.md, substitution 3).
+"""
+
+from repro.baselines.mr_ga import MrGaHostValidator, MrGaRunResult, run_mr_ga
+from repro.baselines.structural_tob import (
+    StructuralResult,
+    StructuralTob,
+    StructuralTobValidator,
+)
+from repro.baselines.structure import (
+    PROTOCOL_STRUCTURES,
+    ProtocolStructure,
+    structure_for,
+)
+
+__all__ = [
+    "MrGaHostValidator",
+    "MrGaRunResult",
+    "run_mr_ga",
+    "StructuralResult",
+    "StructuralTob",
+    "StructuralTobValidator",
+    "PROTOCOL_STRUCTURES",
+    "ProtocolStructure",
+    "structure_for",
+]

@@ -1,0 +1,36 @@
+"""Block, log and transaction substrate.
+
+The paper (Section 3.2) defines a *log* as a finite sequence of *blocks*,
+where each block batches transactions and references its predecessor.  This
+package provides:
+
+* :class:`~repro.chain.transactions.Transaction` and the external
+  transaction pool validators draw from,
+* :class:`~repro.chain.block.Block`, an immutable batch of transactions,
+* :class:`~repro.chain.log.Log`, with the full prefix/conflict algebra
+  (``prefix_of``, ``conflicts_with``, ``is_extension_of``, ...) that every
+  protocol in this repository relies on,
+* the genesis block/log :math:`\\Lambda_g` known to every validator.
+"""
+
+from repro.chain.block import Block
+from repro.chain.genesis import GENESIS_BLOCK, genesis_log
+from repro.chain.log import Log, common_prefix
+from repro.chain.transactions import (
+    Transaction,
+    TransactionPool,
+    always_valid,
+    bounded_payload_validity,
+)
+
+__all__ = [
+    "Block",
+    "GENESIS_BLOCK",
+    "genesis_log",
+    "Log",
+    "common_prefix",
+    "Transaction",
+    "TransactionPool",
+    "always_valid",
+    "bounded_payload_validity",
+]

@@ -1,0 +1,21 @@
+"""The genesis block and genesis log :math:`\\Lambda_g`.
+
+Section 3.2: "We assume that any log is an extension of a log
+:math:`\\Lambda_g` known to any validator", and footnote 11 notes that in
+blockchain protocols :math:`\\Lambda_g` typically has length 1.  We follow
+that convention: the genesis log contains exactly the genesis block.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block
+
+GENESIS_BLOCK = Block(parent_id="", transactions=(), proposer=-1, view=-1)
+
+
+def genesis_log():
+    """Return the genesis log :math:`\\Lambda_g` (imported lazily to avoid cycles)."""
+
+    from repro.chain.log import Log
+
+    return Log((GENESIS_BLOCK,))

@@ -1,0 +1,199 @@
+"""Logs and the prefix/conflict algebra of Section 3.2.
+
+A log is a finite sequence of blocks ``[b_1, ..., b_k]``.  Given two logs
+``L`` and ``L'``:
+
+* ``L`` is a **prefix** of ``L'`` (written ``L <= L'`` in the paper's
+  notation) iff ``L'`` starts with ``L``'s blocks;
+* the logs are **compatible** if one is a prefix of the other;
+* otherwise they **conflict**;
+* ``L'`` is an **extension** of ``L`` iff ``L`` is a prefix of ``L'``.
+
+Every log in this repository extends the genesis log, mirroring the paper's
+assumption about :math:`\\Lambda_g`.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator, Sequence
+
+from repro.chain.block import Block
+from repro.chain.genesis import GENESIS_BLOCK
+from repro.chain.transactions import Transaction
+from repro.crypto.hashing import stable_digest
+
+
+@total_ordering
+class Log:
+    """An immutable, hashable sequence of blocks rooted at genesis."""
+
+    __slots__ = ("_blocks", "_log_id", "_hash")
+
+    def __init__(self, blocks: Sequence[Block]) -> None:
+        blocks = tuple(blocks)
+        if not blocks:
+            raise ValueError("a log contains at least the genesis block")
+        if blocks[0] != GENESIS_BLOCK:
+            raise ValueError("every log must extend the genesis log")
+        for parent, child in zip(blocks, blocks[1:]):
+            if child.parent_id != parent.block_id:
+                raise ValueError(
+                    f"broken parent link: {child!r} does not extend {parent!r}"
+                )
+        self._blocks = blocks
+        self._log_id = stable_digest(("log", tuple(b.block_id for b in blocks)))
+        self._hash = hash(self._log_id)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def genesis(cls) -> "Log":
+        """The genesis log :math:`\\Lambda_g`."""
+
+        return cls((GENESIS_BLOCK,))
+
+    def append_block(
+        self,
+        transactions: Iterable[Transaction],
+        proposer: int,
+        view: int,
+    ) -> "Log":
+        """Extend this log with one new block batching ``transactions``."""
+
+        block = Block(
+            parent_id=self.tip.block_id,
+            transactions=tuple(transactions),
+            proposer=proposer,
+            view=view,
+        )
+        return Log(self._blocks + (block,))
+
+    def prefix(self, length: int) -> "Log":
+        """The prefix of this log with ``length`` blocks."""
+
+        if not 1 <= length <= len(self._blocks):
+            raise ValueError(f"invalid prefix length {length}")
+        return Log(self._blocks[:length])
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        return self._blocks
+
+    @property
+    def tip(self) -> Block:
+        """The last block of the log."""
+
+        return self._blocks[-1]
+
+    @property
+    def log_id(self) -> str:
+        return self._log_id
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Log):
+            return NotImplemented
+        return self._log_id == other._log_id
+
+    def __lt__(self, other: "Log") -> bool:
+        """Strict-prefix partial order promoted to a usable comparison.
+
+        ``a < b`` means "a is a strict prefix of b".  For conflicting logs
+        both ``a < b`` and ``b < a`` are False; ``sorted`` over a chain of
+        compatible logs therefore orders them shortest-first, which is what
+        "highest log" computations rely on.
+        """
+
+        return len(self) < len(other) and self.prefix_of(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Log(len={len(self)},{self._log_id[:8]})"
+
+    # -- the algebra of Section 3.2 ----------------------------------------
+
+    def prefix_of(self, other: "Log") -> bool:
+        """True iff this log is a (non-strict) prefix of ``other``."""
+
+        if len(self) > len(other):
+            return False
+        # Parent links make block identity at position k determine the whole
+        # prefix, so comparing the boundary block suffices.
+        return self._blocks[-1] == other._blocks[len(self) - 1]
+
+    def is_extension_of(self, other: "Log") -> bool:
+        """True iff this log extends ``other`` (``other`` is a prefix)."""
+
+        return other.prefix_of(self)
+
+    def compatible_with(self, other: "Log") -> bool:
+        """True iff one log is a prefix of the other."""
+
+        return self.prefix_of(other) or other.prefix_of(self)
+
+    def conflicts_with(self, other: "Log") -> bool:
+        """True iff neither log is a prefix of the other."""
+
+        return not self.compatible_with(other)
+
+    # -- conveniences used across the repository ----------------------------
+
+    def transactions(self) -> list[Transaction]:
+        """All transactions in the log, in order."""
+
+        return [tx for block in self._blocks for tx in block.transactions]
+
+    def contains_transaction(self, tx: Transaction) -> bool:
+        """True iff some block of the log includes ``tx``."""
+
+        return any(tx in block.transactions for block in self._blocks)
+
+    def proper_prefixes(self) -> Iterator["Log"]:
+        """All strict prefixes, shortest first."""
+
+        for length in range(1, len(self._blocks)):
+            yield Log(self._blocks[:length])
+
+    def all_prefixes(self) -> Iterator["Log"]:
+        """All prefixes including the log itself, shortest first."""
+
+        for length in range(1, len(self._blocks) + 1):
+            yield Log(self._blocks[:length])
+
+
+def common_prefix(a: Log, b: Log) -> Log:
+    """The longest common prefix of two logs (at least the genesis log)."""
+
+    limit = min(len(a), len(b))
+    best = 1
+    for i in range(limit):
+        if a.blocks[i] == b.blocks[i]:
+            best = i + 1
+        else:
+            break
+    return Log(a.blocks[:best])
+
+
+def highest(logs: Iterable[Log]) -> Log | None:
+    """The longest log among ``logs`` (ties broken by log id for determinism).
+
+    The paper always takes "the highest log output with grade g"; callers
+    must only pass mutually-compatible logs for that phrase to be
+    meaningful, but the function itself is total.
+    """
+
+    result: Log | None = None
+    for log in logs:
+        if result is None or (len(log), log.log_id) > (len(result), result.log_id):
+            result = log
+    return result

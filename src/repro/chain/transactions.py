@@ -1,0 +1,157 @@
+"""Transactions, the external transaction pool and validity predicates.
+
+Section 2 of the paper assumes that "upon submission, transactions are
+immediately added to a transaction pool from which validators can retrieve
+and validate them using a specified validity predicate before batching them
+into blocks".  The predicate is global, efficiently computable and evaluates
+each transaction independently of the log (footnote 4).
+
+:class:`TransactionPool` implements exactly that shared pool.  It also
+records submission times so the analysis layer can measure *confirmation
+time* — the interval between submission and the decision of a log
+containing the transaction (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Transaction:
+    """An opaque transaction submitted by a user.
+
+    Attributes:
+        tx_id: Unique identifier assigned by the pool at submission time.
+        payload: Application payload; only inspected by validity predicates.
+        submitted_at: Simulation time of submission (set by the pool).
+    """
+
+    tx_id: int
+    payload: str = ""
+    submitted_at: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tx({self.tx_id}@{self.submitted_at})"
+
+
+ValidityPredicate = Callable[[Transaction], bool]
+
+
+def always_valid(tx: Transaction) -> bool:
+    """The trivial validity predicate: every transaction is valid."""
+
+    return True
+
+
+def bounded_payload_validity(max_len: int) -> ValidityPredicate:
+    """A simple non-trivial predicate: payload length is bounded.
+
+    Used by tests and examples to exercise the invalid-transaction path.
+    """
+
+    def predicate(tx: Transaction) -> bool:
+        return len(tx.payload) <= max_len
+
+    return predicate
+
+
+class TransactionPool:
+    """The global, externally-fed transaction pool of Section 2.
+
+    Honest validators batch into any proposed block every valid pool
+    transaction not already present in the log the block extends.  The pool
+    is an ever-growing set; confirmed transactions are *not* removed here
+    because removal is a per-validator view concern (a validator only stops
+    re-batching a transaction once it appears in the candidate log it
+    extends).
+    """
+
+    def __init__(self, validity: ValidityPredicate = always_valid) -> None:
+        self._validity = validity
+        self._transactions: list[Transaction] = []
+        self._next_id = 0
+
+    def submit(self, payload: str = "", at_time: int = 0) -> Transaction:
+        """Submit a new transaction to the pool at ``at_time``.
+
+        Returns the pool-assigned :class:`Transaction` object.  Invalid
+        transactions are still recorded (users may submit anything) but are
+        never selected by :meth:`valid_transactions`.
+        """
+
+        tx = Transaction(tx_id=self._next_id, payload=payload, submitted_at=at_time)
+        self._next_id += 1
+        self._transactions.append(tx)
+        return tx
+
+    def submit_many(self, count: int, at_time: int = 0, prefix: str = "tx") -> list[Transaction]:
+        """Submit ``count`` transactions in one call (test/benchmark helper)."""
+
+        return [self.submit(payload=f"{prefix}-{i}", at_time=at_time) for i in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    def is_valid(self, tx: Transaction) -> bool:
+        """Evaluate the global validity predicate on ``tx``."""
+
+        return self._validity(tx)
+
+    def valid_transactions(self, before: int | None = None) -> list[Transaction]:
+        """All valid transactions, optionally only those submitted before ``before``.
+
+        ``before`` is exclusive: a transaction submitted exactly at time
+        ``before`` is not yet visible, matching the convention that a
+        proposer at time ``t`` can batch anything submitted strictly
+        earlier.
+        """
+
+        return [
+            tx
+            for tx in self._transactions
+            if self._validity(tx) and (before is None or tx.submitted_at < before)
+        ]
+
+    def pending_for(self, included: Iterable[Transaction], before: int | None = None) -> list[Transaction]:
+        """Valid transactions not in ``included`` — what a proposer batches.
+
+        Args:
+            included: Transactions already present in the log being extended.
+            before: Visibility cut-off time (exclusive), usually "now".
+        """
+
+        seen = set(included)
+        return [tx for tx in self.valid_transactions(before) if tx not in seen]
+
+
+@dataclass
+class ConfirmationRecord:
+    """Bookkeeping for transaction confirmation-time measurements."""
+
+    transaction: Transaction
+    confirmed_at: dict[int, int] = field(default_factory=dict)
+
+    def record(self, validator_id: int, time: int) -> None:
+        """Record the first time ``validator_id`` decided a log containing the tx."""
+
+        self.confirmed_at.setdefault(validator_id, time)
+
+    def first_confirmation(self) -> int | None:
+        """Earliest confirmation time across validators, or ``None``."""
+
+        if not self.confirmed_at:
+            return None
+        return min(self.confirmed_at.values())
+
+    def confirmation_time(self) -> int | None:
+        """Confirmation time (Section 2): first decision minus submission."""
+
+        first = self.first_confirmation()
+        if first is None:
+            return None
+        return first - self.transaction.submitted_at

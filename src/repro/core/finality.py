@@ -1,0 +1,151 @@
+"""A finality-gadget overlay: the ebb-and-flow composition of Section 1.
+
+The paper points at Neu-Tas-Tse ebb-and-flow protocols: pair a dynamically
+available TOB (safety + liveness under synchrony, tolerant of sleeping)
+with a *finality gadget* (a partially-synchronous quorum rule that is safe
+at all times and live only when > 2/3 of the full validator set
+participates), and "we strongly believe that similar results can be
+achieved by replacing their dynamically available protocol with the
+protocol presented in this work".
+
+This module implements that composition over TOB-SVD:
+
+* the **available chain** is whatever TOB-SVD decides — it keeps growing
+  under arbitrary compliant participation;
+* the **finalized chain** is the longest log acknowledged (decided, or
+  extended by a decision) by more than 2/3 of *all* n validators — awake
+  or not — so it stalls whenever participation drops to ≤ 2/3 and catches
+  back up once enough validators return (the paper's GAT);
+* the finalized chain is always a prefix of the available chain, and it
+  never reverts.
+
+The gadget is an overlay on the execution trace: validators' decisions
+double as finality votes, which matches how ebb-and-flow constructions
+feed the available chain's outputs into the gadget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.chain.log import Log
+from repro.trace import DecisionEvent, Trace
+
+
+@dataclass(frozen=True)
+class FinalizationEvent:
+    """The finalized chain advanced to ``log`` at ``time``."""
+
+    time: int
+    log: Log
+    supporters: frozenset[int]
+
+
+@dataclass
+class FinalityTimeline:
+    """The full finalization history of one run."""
+
+    n: int
+    threshold: Fraction
+    events: list[FinalizationEvent] = field(default_factory=list)
+
+    @property
+    def finalized(self) -> Log:
+        """The final finalized log (genesis if nothing ever finalized)."""
+
+        return self.events[-1].log if self.events else Log.genesis()
+
+    def finalized_at(self, time: int) -> Log:
+        """The finalized log as of ``time``."""
+
+        current = Log.genesis()
+        for event in self.events:
+            if event.time > time:
+                break
+            current = event.log
+        return current
+
+    def is_monotone(self) -> bool:
+        """Finality never reverts: each event extends the previous one."""
+
+        for previous, current in zip(self.events, self.events[1:]):
+            if not current.log.is_extension_of(previous.log):
+                return False
+        return True
+
+
+class FinalityGadget:
+    """Quorum-based finalization over decision events."""
+
+    def __init__(self, n: int, threshold: Fraction = Fraction(2, 3)) -> None:
+        if not 0 < threshold < 1:
+            raise ValueError("threshold must lie in (0, 1)")
+        self._n = n
+        self._threshold = threshold
+        self._latest: dict[int, Log] = {}
+        self._finalized = Log.genesis()
+
+    @property
+    def finalized(self) -> Log:
+        return self._finalized
+
+    def observe(self, event: DecisionEvent) -> Log | None:
+        """Feed one decision; returns the new finalized log if it advanced."""
+
+        current = self._latest.get(event.validator)
+        if current is None or len(event.log) > len(current):
+            self._latest[event.validator] = event.log
+        candidate = self._quorum_prefix()
+        if candidate is not None and len(candidate) > len(self._finalized):
+            if not candidate.is_extension_of(self._finalized):
+                raise RuntimeError(
+                    "finality reversion: the available chain violated safety"
+                )
+            self._finalized = candidate
+            return candidate
+        return None
+
+    def supporters_of(self, log: Log) -> frozenset[int]:
+        return frozenset(
+            vid
+            for vid, latest in self._latest.items()
+            if latest.is_extension_of(log)
+        )
+
+    def _quorum_prefix(self) -> Log | None:
+        """Longest log acknowledged by strictly more than threshold * n."""
+
+        required = self._threshold * self._n
+        best: Log | None = None
+        # Candidates: every prefix of every latest decision.
+        seen: set[str] = set()
+        for latest in self._latest.values():
+            for prefix in latest.all_prefixes():
+                if prefix.log_id in seen:
+                    continue
+                seen.add(prefix.log_id)
+                if len(self.supporters_of(prefix)) > required:
+                    if best is None or len(prefix) > len(best):
+                        best = prefix
+        return best
+
+
+def run_gadget_over_trace(
+    trace: Trace, n: int, threshold: Fraction = Fraction(2, 3)
+) -> FinalityTimeline:
+    """Replay a run's decisions through the gadget, in time order."""
+
+    gadget = FinalityGadget(n, threshold)
+    timeline = FinalityTimeline(n=n, threshold=threshold)
+    for event in sorted(trace.decisions, key=lambda e: (e.time, e.validator)):
+        advanced = gadget.observe(event)
+        if advanced is not None:
+            timeline.events.append(
+                FinalizationEvent(
+                    time=event.time,
+                    log=advanced,
+                    supporters=gadget.supporters_of(advanced),
+                )
+            )
+    return timeline

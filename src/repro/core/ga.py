@@ -1,0 +1,214 @@
+"""Parametric Graded Agreement engine — paper Figures 1 and 2.
+
+Both of the paper's GA protocols share one skeleton:
+
+* **input phase** at local time 0: broadcast ``<LOG, Λ>``;
+* store snapshots of ``V`` at fixed Delta marks;
+* **output phase for grade g** at a fixed Delta mark: output every log
+  ``Λ`` with ``|V' _Λ| > |S|/2``, where ``V'`` is either the live ``V``
+  (grade 0) or the intersection of an early snapshot with the live ``V``
+  (higher grades — the equivocator-aware time-shifted quorum);
+* **participation condition**: a validator participates in the output
+  phase for grade g only if it was awake at that grade's snapshot time
+  (it has the snapshot), with grade 0 requiring only being awake now.
+
+:data:`GA2_SPEC` encodes Figure 1 (k=2, 3Δ, snapshot at Δ; grade 0 at 2Δ
+from live V, grade 1 at 3Δ from ``V^Δ ∩ V^3Δ``).  :data:`GA3_SPEC` encodes
+Figure 2 (k=3, 5Δ, snapshots at Δ and 2Δ; grade 0 at 3Δ live, grade 1 at
+4Δ from ``V^2Δ ∩ V^4Δ``, grade 2 at 5Δ from ``V^Δ ∩ V^5Δ`` — the *nested*
+double application of the technique).
+
+A :class:`GaInstance` is passive: its host validator drives snapshots and
+output phases from its own timers, which is exactly how TOB-SVD embeds
+GA_v into its overlapping view schedule (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.log import Log
+from repro.core.quorum import majority_chain, pair_intersection
+from repro.core.state import HandleOutcome, LogView, Snapshot
+from repro.net.messages import Envelope, LogMessage
+
+
+@dataclass(frozen=True)
+class GradeSpec:
+    """One output phase.
+
+    Attributes:
+        grade: The grade output by this phase.
+        output_offset: Phase time, in Delta units from the instance start.
+        snapshot_offset: Which snapshot the support set is intersected
+            with; ``None`` means the live ``V`` is used alone (grade 0).
+    """
+
+    grade: int
+    output_offset: int
+    snapshot_offset: int | None
+
+
+@dataclass(frozen=True)
+class GaSpec:
+    """A full GA protocol shape.
+
+    ``intersect_with_live`` is the paper's equivocator time-shift: graded
+    output phases use ``V^snap ∩ V^now`` rather than ``V^snap`` alone.
+    Disabling it yields the *naive* variant whose Graded Delivery breaks
+    under split equivocation (ablation A6 in EXPERIMENTS.md) — exactly the
+    failure mode Section 5.1 motivates the intersection with.
+    """
+
+    name: str
+    k: int
+    duration_deltas: int
+    snapshot_offsets: tuple[int, ...]
+    grades: tuple[GradeSpec, ...]
+    intersect_with_live: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.grades) != self.k:
+            raise ValueError("one GradeSpec per grade required")
+        for spec in self.grades:
+            if spec.snapshot_offset is not None and spec.snapshot_offset not in self.snapshot_offsets:
+                raise ValueError(f"grade {spec.grade} uses an unstored snapshot")
+
+    def grade_spec(self, grade: int) -> GradeSpec:
+        for spec in self.grades:
+            if spec.grade == grade:
+                return spec
+        raise KeyError(f"no grade {grade} in {self.name}")
+
+    def sleepy_model(self, delta: int) -> tuple[int, int, float]:
+        """The (T_b, T_s, rho) model this GA needs: (duration*Δ, 0, 1/2)."""
+
+        return (self.duration_deltas * delta, 0, 0.5)
+
+
+GA2_SPEC = GaSpec(
+    name="ga2",
+    k=2,
+    duration_deltas=3,
+    snapshot_offsets=(1,),
+    grades=(
+        GradeSpec(grade=0, output_offset=2, snapshot_offset=None),
+        GradeSpec(grade=1, output_offset=3, snapshot_offset=1),
+    ),
+)
+
+NAIVE_GA2_SPEC = GaSpec(
+    name="ga2-naive",
+    k=2,
+    duration_deltas=3,
+    snapshot_offsets=(1,),
+    grades=(
+        GradeSpec(grade=0, output_offset=2, snapshot_offset=None),
+        GradeSpec(grade=1, output_offset=3, snapshot_offset=1),
+    ),
+    intersect_with_live=False,
+)
+
+GA3_SPEC = GaSpec(
+    name="ga3",
+    k=3,
+    duration_deltas=5,
+    snapshot_offsets=(1, 2),
+    grades=(
+        GradeSpec(grade=0, output_offset=3, snapshot_offset=None),
+        GradeSpec(grade=1, output_offset=4, snapshot_offset=2),
+        GradeSpec(grade=2, output_offset=5, snapshot_offset=1),
+    ),
+)
+
+
+class GaInstance:
+    """One Graded Agreement instance at one validator.
+
+    The host validator calls, at the appropriate local times:
+
+    * :meth:`input` once (or never, if it has nothing to input),
+    * :meth:`handle_log` for every incoming LOG envelope of this instance,
+    * :meth:`take_snapshot` at each of the spec's snapshot offsets,
+    * :meth:`compute_outputs` at each output phase.
+    """
+
+    def __init__(self, spec: GaSpec, key: tuple, start_time: int, delta: int) -> None:
+        self.spec = spec
+        self.key = key
+        self.start_time = start_time
+        self.delta = delta
+        self.view_state = LogView()
+        self.snapshots: dict[int, Snapshot] = {}
+        self.input_log: Log | None = None
+
+    # -- protocol steps ------------------------------------------------------
+
+    def note_input(self, log: Log) -> LogMessage:
+        """Record the host's input and build the LOG payload to broadcast."""
+
+        self.input_log = log
+        return LogMessage(ga_key=self.key, log=log)
+
+    def handle_log(self, envelope: Envelope) -> HandleOutcome:
+        """Feed one LOG envelope into ``V``/``E``; returns the forward bit."""
+
+        return self.view_state.handle(envelope)
+
+    def take_snapshot(self, offset_deltas: int) -> None:
+        """Store ``V`` at a Delta mark (host must be awake to call this)."""
+
+        if offset_deltas not in self.spec.snapshot_offsets:
+            raise ValueError(f"{self.spec.name} has no snapshot at {offset_deltas}Δ")
+        self.snapshots[offset_deltas] = self.view_state.pairs()
+
+    def has_snapshot(self, offset_deltas: int) -> bool:
+        return offset_deltas in self.snapshots
+
+    def can_participate(self, grade: int) -> bool:
+        """The participation condition for the output phase of ``grade``.
+
+        Grade 0 needs only being awake now; higher grades require the
+        snapshot taken while awake earlier (e.g. GA-2's grade 1 at 3Δ
+        requires having been awake at Δ).
+        """
+
+        spec = self.spec.grade_spec(grade)
+        if spec.snapshot_offset is None:
+            return True
+        return self.has_snapshot(spec.snapshot_offset)
+
+    def compute_outputs(self, grade: int) -> list[Log] | None:
+        """Run the output phase for ``grade``.
+
+        Returns ``None`` when the host does not participate (missing
+        snapshot), else the chain of output logs, shortest first (possibly
+        empty).  The support set is ``V^snap ∩ V^now`` for graded phases
+        and the live ``V`` for grade 0; ``|S|`` is always read live.
+        """
+
+        spec = self.spec.grade_spec(grade)
+        live_pairs = self.view_state.pairs()
+        if spec.snapshot_offset is None:
+            pairs = live_pairs
+        else:
+            snapshot = self.snapshots.get(spec.snapshot_offset)
+            if snapshot is None:
+                return None
+            if self.spec.intersect_with_live:
+                pairs = pair_intersection(snapshot, live_pairs)
+            else:
+                pairs = snapshot  # the naive (broken) variant, for ablations
+        return majority_chain(pairs, self.view_state.sender_count())
+
+    # -- timing helpers --------------------------------------------------------
+
+    def time_of_snapshot(self, offset_deltas: int) -> int:
+        return self.start_time + offset_deltas * self.delta
+
+    def time_of_output(self, grade: int) -> int:
+        return self.start_time + self.spec.grade_spec(grade).output_offset * self.delta
+
+    @property
+    def end_time(self) -> int:
+        return self.start_time + self.spec.duration_deltas * self.delta

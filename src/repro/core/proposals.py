@@ -1,0 +1,99 @@
+"""Proposal books: per-view proposal tracking with equivocation discard.
+
+Figure 4, Vote phase: "After discarding equivocating proposals, input to
+GA_v the proposal with the highest VRF value extending L_{v-1}".  A
+:class:`ProposalBook` mirrors the LOG-message handling rules for
+``PROPOSAL`` messages:
+
+* at most two different proposals per sender are accepted and forwarded;
+* a sender with two different proposals for the same view is an
+  equivocator — all its proposals are discarded;
+* proposals must carry a *valid* VRF output, for the right view, evaluated
+  by the actual sender (a Byzantine validator cannot inflate its priority).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.vrf import VRF
+from repro.net.messages import Envelope, ProposalMessage
+
+
+@dataclass(frozen=True)
+class AcceptedProposal:
+    """A well-formed, currently non-equivocating proposal."""
+
+    envelope: Envelope
+
+    @property
+    def message(self) -> ProposalMessage:
+        payload = self.envelope.payload
+        assert isinstance(payload, ProposalMessage)
+        return payload
+
+    @property
+    def sender(self) -> int:
+        return self.envelope.sender
+
+    def sort_key(self) -> tuple[float, int]:
+        return self.message.vrf.sort_key()
+
+
+class ProposalBook:
+    """Proposal state for a single view at a single validator."""
+
+    def __init__(self, view: int, vrf: VRF) -> None:
+        self._view = view
+        self._vrf = vrf
+        self._proposals: dict[int, AcceptedProposal] = {}
+        self._equivocators: set[int] = set()
+
+    @property
+    def view(self) -> int:
+        return self._view
+
+    def handle(self, envelope: Envelope) -> bool:
+        """Apply one PROPOSAL envelope; returns True iff it should be forwarded."""
+
+        payload = envelope.payload
+        if not isinstance(payload, ProposalMessage):
+            raise TypeError("ProposalBook handles PROPOSAL messages only")
+        if payload.view != self._view:
+            return False
+        sender = envelope.sender
+        if sender in self._equivocators:
+            return False
+        if payload.vrf.validator_id != sender or payload.vrf.view != self._view:
+            return False  # VRF output stolen from someone else / another view
+        if not self._vrf.verify(payload.vrf):
+            return False  # forged VRF value
+        existing = self._proposals.get(sender)
+        if existing is None:
+            self._proposals[sender] = AcceptedProposal(envelope)
+            return True
+        if existing.envelope.payload == payload:
+            return False  # duplicate
+        # Equivocation: drop the sender entirely, but forward the second
+        # proposal so everyone learns of the equivocation.
+        del self._proposals[sender]
+        self._equivocators.add(sender)
+        return True
+
+    def equivocators(self) -> frozenset[int]:
+        return frozenset(self._equivocators)
+
+    def proposals(self) -> list[AcceptedProposal]:
+        """Current non-equivocating proposals, best VRF first."""
+
+        return sorted(
+            self._proposals.values(), key=AcceptedProposal.sort_key, reverse=True
+        )
+
+    def best_extending(self, lock) -> AcceptedProposal | None:
+        """The highest-VRF proposal whose log extends ``lock``, if any."""
+
+        for proposal in self.proposals():
+            if proposal.message.log.is_extension_of(lock):
+                return proposal
+        return None

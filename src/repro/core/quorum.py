@@ -1,0 +1,80 @@
+"""Time-shifted quorum arithmetic.
+
+Everything a GA output phase computes reduces to:
+
+1. intersect two snapshots of ``V`` (pairs agree on both sender and log —
+   this is what removes senders later exposed as equivocators, the paper's
+   ``V^Δ ∩ V^3Δ`` trick from Section 5.1), and
+2. find every log ``Λ`` whose support ``|V_Λ|`` exceeds half the perceived
+   participation ``|S|/2``.
+
+Because each sender contributes at most one log to a pair set, the
+supporters of two conflicting logs are disjoint; the set of logs clearing
+the majority threshold is therefore always a chain (pairwise-compatible,
+totally ordered by the prefix relation).  :func:`majority_chain` returns
+that chain shortest-first.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.chain.log import Log
+from repro.core.state import Pair
+
+
+def pair_intersection(a: Iterable[Pair], b: Iterable[Pair]) -> frozenset:
+    """``V^x ∩ V^y`` as pair sets: sender *and* log must match."""
+
+    return frozenset(a) & frozenset(b)
+
+
+def support_count(pairs: Iterable[Pair], log: Log) -> int:
+    """``|V_Λ|``: number of distinct senders whose pair extends ``log``."""
+
+    return len({sender for sender, candidate in pairs if candidate.is_extension_of(log)})
+
+
+def meets_quorum(support: int, sender_count: int) -> bool:
+    """The strict-majority test ``support > |S| / 2``."""
+
+    return 2 * support > sender_count
+
+
+def majority_chain(pairs: Iterable[Pair], sender_count: int) -> list[Log]:
+    """All logs with strict-majority support, shortest first.
+
+    Args:
+        pairs: A (possibly intersected) snapshot of ``V``.
+        sender_count: The ``|S|`` measured at the output phase — note that
+            ``S`` is read *live* while ``pairs`` may come from an earlier
+            snapshot; that asymmetry *is* the time-shifted quorum.
+
+    Returns:
+        The (possibly empty) chain of logs ``Λ`` with
+        ``|V_Λ| > sender_count / 2``.  Compatible by construction.
+    """
+
+    pair_list = list(pairs)
+    if not pair_list or sender_count <= 0:
+        return []
+    # Count, for every prefix of every recorded log, its supporting senders.
+    supporters: dict[Log, set[int]] = defaultdict(set)
+    for sender, log in pair_list:
+        for prefix in log.all_prefixes():
+            supporters[prefix].add(sender)
+    chain = [
+        log
+        for log, senders in supporters.items()
+        if meets_quorum(len(senders), sender_count)
+    ]
+    chain.sort(key=len)
+    return chain
+
+
+def highest_majority(pairs: Iterable[Pair], sender_count: int) -> Log | None:
+    """The longest log with strict-majority support, or None."""
+
+    chain = majority_chain(pairs, sender_count)
+    return chain[-1] if chain else None

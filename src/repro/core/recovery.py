@@ -1,0 +1,175 @@
+"""The wake-up RECOVERY protocol of Section 2.
+
+The paper's theoretical model assumes asleep validators receive their
+queued messages the moment they wake.  "Since assuming that messages are
+buffered and delivered immediately is not very practical", Section 2
+sketches the practical alternative:
+
+    "upon waking up, a validator sends a RECOVERY message to other
+    validators.  These validators then send back any messages that the
+    newly awakened validator may have missed while asleep and that could
+    impact future decisions.  The validator that wakes up is required to
+    remain awake until it receives responses to the RECOVERY messages it
+    has sent out. [...] Such a period is, in practice, at least 2Δ."
+
+This module implements exactly that, as an *extension* on top of TOB-SVD
+(the paper scopes it out of its own protocol):
+
+* run the protocol with ``buffer_while_asleep=False`` — sleep now loses
+  traffic, as on a real network;
+* :class:`RecoveringTobSvdValidator` archives every accepted protocol
+  envelope (pruned to a sliding window of views), broadcasts a
+  ``RECOVERY`` request on waking, and answers other validators' requests
+  by re-sending its archive directly to the requester;
+* the 2Δ recovery period falls out naturally: the request takes up to Δ,
+  the responses up to another Δ, and until they land the validator's
+  ``V`` sets are too empty to clear any quorum — it simply does not
+  participate, which the protocol's participation conditions already
+  permit.
+
+:func:`build_recovery_protocol` wires a full run.
+"""
+
+from __future__ import annotations
+
+from repro.core.tobsvd import (
+    ByzantineFactory,
+    ProtocolContext,
+    TobSvdConfig,
+    TobSvdProtocol,
+    TobSvdValidator,
+)
+from repro.crypto.signatures import SigningKey
+from repro.net.delays import DelayPolicy
+from repro.net.messages import Envelope, LogMessage, ProposalMessage, RecoveryMessage
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.schedule import AwakeSchedule
+from repro.trace import Trace
+
+# How many views of history a validator archives for recovery responses.
+# GA_v concludes during view v+1, so two views of history cover every
+# instance that can still influence a decision; we keep one extra for
+# proposals referenced across the boundary.
+ARCHIVE_WINDOW_VIEWS = 3
+
+
+class RecoveringTobSvdValidator(TobSvdValidator):
+    """A TOB-SVD validator implementing the Section-2 RECOVERY protocol."""
+
+    def __init__(
+        self,
+        validator_id: int,
+        key: SigningKey,
+        simulator: Simulator,
+        network: Network,
+        trace: Trace,
+        context: ProtocolContext,
+    ) -> None:
+        super().__init__(validator_id, key, simulator, network, trace, context)
+        self._archive: dict[str, Envelope] = {}
+        self.recoveries_requested = 0
+        self.recoveries_served = 0
+
+    # -- archiving ---------------------------------------------------------
+
+    @staticmethod
+    def _envelope_view(envelope: Envelope) -> int | None:
+        payload = envelope.payload
+        if isinstance(payload, ProposalMessage):
+            return payload.view
+        if isinstance(payload, LogMessage):
+            key = tuple(payload.ga_key)
+            if len(key) == 2 and isinstance(key[1], int):
+                return key[1]
+        return None
+
+    def _archive_envelope(self, envelope: Envelope) -> None:
+        if self._envelope_view(envelope) is None:
+            return
+        self._archive[envelope.envelope_id] = envelope
+
+    def _prune_archive(self) -> None:
+        current_view = self._time.view_of(self.now)
+        cutoff = current_view - ARCHIVE_WINDOW_VIEWS
+        if cutoff <= 0:
+            return
+        stale = [
+            envelope_id
+            for envelope_id, envelope in self._archive.items()
+            if (self._envelope_view(envelope) or 0) < cutoff
+        ]
+        for envelope_id in stale:
+            del self._archive[envelope_id]
+
+    # -- the protocol ------------------------------------------------------
+
+    def on_wake(self, time: int) -> None:
+        """Broadcast a RECOVERY request the moment we wake (Section 2)."""
+
+        super().on_wake(time)
+        self.recoveries_requested += 1
+        self.broadcast(RecoveryMessage(requested_at=time))
+
+    def handle_envelope(self, envelope: Envelope, time: int) -> None:
+        payload = envelope.payload
+        if isinstance(payload, RecoveryMessage):
+            self._serve_recovery(envelope.sender)
+            return
+        super().handle_envelope(envelope, time)
+        self._archive_envelope(envelope)
+        self._prune_archive()
+
+    def _serve_recovery(self, requester: int) -> None:
+        """Re-send the archive directly to the requester.
+
+        Responses take up to Δ, completing the 2Δ recovery round trip.
+        Direct sends keep this out of the broadcast fan-out accounting —
+        recovery traffic is point-to-point in practice.
+        """
+
+        if requester == self.validator_id:
+            return
+        self.recoveries_served += 1
+        for envelope in self._archive.values():
+            self._network.send_direct(envelope, requester, delay=self._network.delta)
+
+
+def build_recovery_protocol(
+    config: TobSvdConfig,
+    schedule: AwakeSchedule | None = None,
+    corruption: CorruptionPlan | None = None,
+    byzantine_factory: ByzantineFactory | None = None,
+    delay_policy: DelayPolicy | None = None,
+    pool=None,
+) -> TobSvdProtocol:
+    """A TOB-SVD run on a lossy-while-asleep network with RECOVERY enabled."""
+
+    return TobSvdProtocol(
+        config,
+        schedule=schedule,
+        corruption=corruption,
+        byzantine_factory=byzantine_factory,
+        delay_policy=delay_policy,
+        pool=pool,
+        validator_class=RecoveringTobSvdValidator,
+        buffer_while_asleep=False,
+    )
+
+
+def build_lossy_protocol_without_recovery(
+    config: TobSvdConfig,
+    schedule: AwakeSchedule | None = None,
+    corruption: CorruptionPlan | None = None,
+    pool=None,
+) -> TobSvdProtocol:
+    """Control arm for the recovery experiments: lossy sleep, no RECOVERY."""
+
+    return TobSvdProtocol(
+        config,
+        schedule=schedule,
+        corruption=corruption,
+        pool=pool,
+        buffer_while_asleep=False,
+    )

@@ -1,0 +1,149 @@
+"""Validator state: the ``V``, ``E`` and ``S`` of Section 3.3.
+
+Per GA instance, an honest validator keeps:
+
+* ``V`` — for each sender, the unique ``LOG`` message received from it, or
+  "bottom" if none or more than one (an equivocation) arrived;
+* ``E`` — equivocation evidence: the first two conflicting ``LOG``
+  messages per equivocating sender;
+* ``S`` (derived) — every validator from which *at least one* ``LOG``
+  message was received, equivocators included.
+
+Message handling (Section 3.3, "Message handling"):
+
+* first ``LOG`` from a sender  -> record in ``V`` and forward;
+* second, *different* ``LOG``  -> move sender to ``E`` (with evidence)
+  and forward, so everyone learns of the equivocation;
+* anything further from a known equivocator -> ignore.
+
+Honest validators therefore accept and forward **at most two** ``LOG``
+messages per sender, which bounds the communication complexity at
+O(L n^3) per instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterable
+
+from repro.chain.log import Log
+from repro.net.messages import Envelope, LogMessage
+
+Pair = tuple[int, Log]  # (sender, log), the (Λ', v_i) pairs of the paper
+Snapshot = frozenset  # frozenset[Pair]
+
+
+class HandleOutcome(Enum):
+    """What a ``LOG`` message did to the state, and whether to forward it."""
+
+    ACCEPTED = auto()  # first message from this sender -> forward
+    EQUIVOCATION = auto()  # second, different message -> forward
+    DUPLICATE = auto()  # identical resend -> do not forward
+    IGNORED = auto()  # sender already a known equivocator -> drop
+
+    @property
+    def should_forward(self) -> bool:
+        return self in (HandleOutcome.ACCEPTED, HandleOutcome.EQUIVOCATION)
+
+
+@dataclass(frozen=True)
+class EquivocationEvidence:
+    """Two conflicting signed ``LOG`` messages from one sender."""
+
+    first: Envelope
+    second: Envelope
+
+    @property
+    def sender(self) -> int:
+        return self.first.sender
+
+
+class LogView:
+    """Live ``V``/``E`` state for one GA instance at one validator."""
+
+    def __init__(self) -> None:
+        self._v: dict[int, Log] = {}  # sender -> unique log (V(i) != bottom)
+        self._v_envelopes: dict[int, Envelope] = {}
+        self._equivocators: dict[int, EquivocationEvidence] = {}
+        self._senders: set[int] = set()  # S: everyone who sent >= 1 LOG
+
+    # -- message handling ---------------------------------------------------
+
+    def handle(self, envelope: Envelope) -> HandleOutcome:
+        """Apply one ``LOG`` envelope; returns the outcome (incl. forward bit)."""
+
+        payload = envelope.payload
+        if not isinstance(payload, LogMessage):
+            raise TypeError("LogView handles LOG messages only")
+        sender = envelope.sender
+        if sender in self._equivocators:
+            return HandleOutcome.IGNORED
+        self._senders.add(sender)
+        if sender not in self._v:
+            self._v[sender] = payload.log
+            self._v_envelopes[sender] = envelope
+            return HandleOutcome.ACCEPTED
+        if self._v[sender] == payload.log:
+            return HandleOutcome.DUPLICATE
+        evidence = EquivocationEvidence(
+            first=self._v_envelopes[sender], second=envelope
+        )
+        del self._v[sender]
+        del self._v_envelopes[sender]
+        self._equivocators[sender] = evidence
+        return HandleOutcome.EQUIVOCATION
+
+    # -- the paper's accessors ------------------------------------------------
+
+    def log_of(self, sender: int) -> Log | None:
+        """``V(i)``: the unique log from ``sender``, or None for "bottom"."""
+
+        return self._v.get(sender)
+
+    def pairs(self) -> Snapshot:
+        """The current ``V`` as a frozen set of (sender, log) pairs.
+
+        This is the object the time-shifted quorum technique snapshots at
+        Delta marks: ``V^Δ``, ``V^2Δ`` etc.
+        """
+
+        return frozenset(self._v.items())
+
+    def senders(self) -> frozenset[int]:
+        """``S``: every sender of at least one LOG message."""
+
+        return frozenset(self._senders)
+
+    def sender_count(self) -> int:
+        """``|S|``."""
+
+        return len(self._senders)
+
+    def equivocators(self) -> frozenset[int]:
+        """Senders with recorded equivocation evidence."""
+
+        return frozenset(self._equivocators)
+
+    def evidence_for(self, sender: int) -> EquivocationEvidence | None:
+        return self._equivocators.get(sender)
+
+    def extensions_of(self, log: Log) -> Snapshot:
+        """``V_Λ``: the pairs whose log extends ``log`` (equivocators excluded)."""
+
+        return frozenset(
+            (sender, candidate)
+            for sender, candidate in self._v.items()
+            if candidate.is_extension_of(log)
+        )
+
+    def all_logs(self) -> frozenset[Log]:
+        """Distinct logs currently recorded in ``V``."""
+
+        return frozenset(self._v.values())
+
+
+def pairs_extending(pairs: Iterable[Pair], log: Log) -> frozenset:
+    """Restrict a pair set to entries whose log extends ``log``."""
+
+    return frozenset((s, l) for s, l in pairs if l.is_extension_of(log))

@@ -1,0 +1,427 @@
+"""TOB-SVD — the Total-Order Broadcast protocol of paper Figure 4.
+
+Views last 4Δ (``t_v = 4Δ·v``).  Each view ``v`` owns a k=3 Graded
+Agreement instance ``GA_v`` running over ``[t_v + Δ, t_v + 6Δ]``, i.e.
+spilling into view ``v+1`` and overlapping ``GA_{v+1}`` for one Δ
+(Figure 3).  The view phases line up with the *previous* instance's output
+phases:
+
+=====================  =========================================
+view-v phase (time)     GA event at the same tick
+=====================  =========================================
+Propose (``t_v``)       grade-0 output of ``GA_{v-1}`` → *candidate*
+Vote (``t_v + Δ``)      grade-1 output of ``GA_{v-1}`` → *lock*;
+                        input phase of ``GA_v``
+Decide (``t_v + 2Δ``)   grade-2 output of ``GA_{v-1}`` → *decision*;
+                        ``GA_v`` stores ``V^Δ``
+(``t_v + 3Δ``)          ``GA_v`` stores ``V^2Δ``
+=====================  =========================================
+
+``GA_{-1}``'s outputs are defined to be the genesis log at every grade.
+Any action whose required GA output is unavailable (the validator was
+asleep at the participation-condition time) is skipped, including the LOG
+broadcast at ``t_v + Δ``.
+
+The protocol needs the (5Δ, 2Δ, ½)-sleepy model: T_b = 5Δ because GA
+instances last 5Δ, and the T_s = 2Δ stabilization guarantees that a
+validator inputting to ``GA_v`` was awake at ``t_v - Δ`` to compute its
+lock (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chain.log import Log
+from repro.chain.transactions import TransactionPool
+from repro.crypto.signatures import KeyRegistry, SigningKey
+from repro.crypto.vrf import VRF
+from repro.core.ga import GA3_SPEC, GaInstance
+from repro.core.proposals import ProposalBook
+from repro.core.validator import BaseValidator
+from repro.net.delays import DelayPolicy, UniformDelay
+from repro.net.messages import Envelope, LogMessage, ProposalMessage
+from repro.net.network import Network
+from repro.sim.clock import TimeConfig
+from repro.sim.simulator import Simulator
+from repro.sleepy.controller import SleepController
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.schedule import AwakeSchedule
+from repro.trace import DecisionEvent, GaOutputEvent, ProposalEvent, Trace, VotePhaseEvent
+
+PROTOCOL_NAME = "tobsvd"
+
+# The sleepy-model parameters TOB-SVD requires, in Delta units.
+T_B_DELTAS = 5
+T_S_DELTAS = 2
+RHO = 0.5
+
+
+@dataclass(frozen=True)
+class TobSvdConfig:
+    """Static parameters of one TOB-SVD run."""
+
+    n: int
+    num_views: int
+    delta: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("need at least one validator")
+        if self.num_views < 1:
+            raise ValueError("need at least one view")
+        if self.delta < 1:
+            raise ValueError("delta must be >= 1 tick")
+
+    @property
+    def time(self) -> TimeConfig:
+        return TimeConfig(delta=self.delta, view_length_deltas=4)
+
+    @property
+    def horizon(self) -> int:
+        """Last tick of interest: the wrap-up view's decide phase."""
+
+        return self.time.view_start(self.num_views) + 3 * self.delta
+
+    def sleepy_model(self) -> tuple[int, int, float]:
+        """(T_b, T_s, rho) in ticks for compliance checking."""
+
+        return (T_B_DELTAS * self.delta, T_S_DELTAS * self.delta, RHO)
+
+
+@dataclass
+class ProtocolContext:
+    """Shared run facilities handed to validators (honest and Byzantine)."""
+
+    config: TobSvdConfig
+    vrf: VRF
+    pool: TransactionPool
+    registry: KeyRegistry
+
+
+class TobSvdValidator(BaseValidator):
+    """An honest TOB-SVD validator (Figure 4)."""
+
+    def __init__(
+        self,
+        validator_id: int,
+        key: SigningKey,
+        simulator: Simulator,
+        network: Network,
+        trace: Trace,
+        context: ProtocolContext,
+    ) -> None:
+        super().__init__(validator_id, key, simulator, network, trace)
+        self._context = context
+        self._config = context.config
+        self._time = context.config.time
+        self._genesis = Log.genesis()
+        self._instances: dict[int, GaInstance] = {}
+        self._books: dict[int, ProposalBook] = {}
+        self.decided: list[tuple[int, Log]] = []
+        self.highest_decided: Log = self._genesis
+
+    # -- lazy per-view state ---------------------------------------------------
+
+    def _instance(self, view: int) -> GaInstance:
+        """``GA_view`` (created lazily: LOG messages may precede our timer)."""
+
+        instance = self._instances.get(view)
+        if instance is None:
+            instance = GaInstance(
+                GA3_SPEC,
+                key=(PROTOCOL_NAME, view),
+                start_time=self._time.view_start(view) + self._config.delta,
+                delta=self._config.delta,
+            )
+            self._instances[view] = instance
+        return instance
+
+    def _book(self, view: int) -> ProposalBook:
+        book = self._books.get(view)
+        if book is None:
+            book = ProposalBook(view, self._context.vrf)
+            self._books[view] = book
+        return book
+
+    def _ga_outputs(self, view: int, grade: int) -> list[Log] | None:
+        """Outputs of ``GA_view`` at ``grade``; genesis for ``GA_{-1}``.
+
+        Returns ``None`` when this validator does not participate in that
+        output phase (missing snapshot), the empty list when it
+        participates but nothing clears the quorum.
+        """
+
+        if view < 0:
+            return [self._genesis]
+        instance = self._instance(view)
+        if not instance.can_participate(grade):
+            return None
+        outputs = instance.compute_outputs(grade)
+        if outputs:
+            for log in outputs:
+                self._trace.emit_ga_output(
+                    GaOutputEvent(
+                        time=self.now,
+                        ga_key=instance.key,
+                        validator=self.validator_id,
+                        log=log,
+                        grade=grade,
+                    )
+                )
+        return outputs
+
+    # -- introspection -----------------------------------------------------------
+
+    def peek_ga_outputs(self, view: int, grade: int) -> list[Log] | None:
+        """Compute ``GA_view``'s outputs at ``grade`` without trace emission.
+
+        Used by adversaries (which may inspect any state) and by analysis
+        code; unlike :meth:`_ga_outputs` it has no side effects.
+        """
+
+        if view < 0:
+            return [self._genesis]
+        instance = self._instance(view)
+        if not instance.can_participate(grade):
+            return None
+        return instance.compute_outputs(grade)
+
+    def peek_candidate(self, view: int) -> Log | None:
+        """The candidate this validator would extend when proposing in ``view``."""
+
+        outputs = self.peek_ga_outputs(view - 1, grade=0)
+        if not outputs:
+            return None
+        return outputs[-1]
+
+    # -- timers -------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Register all phase timers for views ``0 .. num_views``.
+
+        The final (wrap-up) view runs its phases too so decisions carried
+        by ``GA_{num_views - 1}`` still land.
+        """
+
+        delta = self._config.delta
+        for view in range(self._config.num_views + 1):
+            start = self._time.view_start(view)
+            if view < self._config.num_views:
+                self.schedule_timer(start, lambda v=view: self._propose_phase(v), note=f"propose-{view}")
+                self.schedule_timer(start + delta, lambda v=view: self._vote_phase(v), note=f"vote-{view}")
+            self.schedule_timer(start + 2 * delta, lambda v=view: self._decide_phase(v), note=f"decide-{view}")
+            if view < self._config.num_views:
+                self.schedule_timer(start + 3 * delta, lambda v=view: self._second_snapshot_phase(v), note=f"snap2-{view}")
+
+    # -- the four phases of Figure 4 --------------------------------------------------
+
+    def _propose_phase(self, view: int) -> None:
+        """Propose (t = t_v): extend the grade-0 *candidate* of GA_{v-1}."""
+
+        outputs = self._ga_outputs(view - 1, grade=0)
+        if not outputs:  # not participating, or no candidate output
+            return
+        candidate = outputs[-1]
+        batch = self._context.pool.pending_for(candidate.transactions(), before=self.now)
+        proposal_log = candidate.append_block(batch, proposer=self.validator_id, view=view)
+        vrf_output = self._context.vrf.evaluate(self.validator_id, view)
+        self.broadcast(ProposalMessage(view=view, log=proposal_log, vrf=vrf_output))
+        self._trace.emit_proposal(
+            ProposalEvent(
+                time=self.now,
+                view=view,
+                proposer=self.validator_id,
+                log=proposal_log,
+                vrf_value=vrf_output.value,
+            )
+        )
+
+    def _vote_phase(self, view: int) -> None:
+        """Vote (t = t_v + Δ): input to GA_v a proposal extending the lock."""
+
+        lock_outputs = self._ga_outputs(view - 1, grade=1)
+        if not lock_outputs:  # asleep at t_v - Δ, or no grade-1 output: skip
+            return
+        lock = lock_outputs[-1]
+        best = self._book(view).best_extending(lock)
+        input_log = best.message.log if best is not None else lock
+        instance = self._instance(view)
+        payload = instance.note_input(input_log)
+        self.broadcast(payload)
+        self._trace.emit_vote_phase(
+            VotePhaseEvent(
+                time=self.now,
+                protocol=PROTOCOL_NAME,
+                view=view,
+                phase_label="vote",
+                validator=self.validator_id,
+                log=input_log,
+            )
+        )
+
+    def _decide_phase(self, view: int) -> None:
+        """Decide (t = t_v + 2Δ) and store GA_v's V^Δ snapshot."""
+
+        outputs = self._ga_outputs(view - 1, grade=2)
+        if outputs:
+            decided = outputs[-1]
+            self.decided.append((self.now, decided))
+            if len(decided) > len(self.highest_decided):
+                self.highest_decided = decided
+            self._trace.emit_decision(
+                DecisionEvent(
+                    time=self.now, view=view, validator=self.validator_id, log=decided
+                )
+            )
+        if view < self._config.num_views:
+            self._instance(view).take_snapshot(1)
+
+    def _second_snapshot_phase(self, view: int) -> None:
+        """t = t_v + 3Δ: nothing but GA_v's V^2Δ snapshot."""
+
+        self._instance(view).take_snapshot(2)
+
+    # -- message handling ---------------------------------------------------------------
+
+    def handle_envelope(self, envelope: Envelope, time: int) -> None:
+        payload = envelope.payload
+        if isinstance(payload, LogMessage):
+            key = tuple(payload.ga_key)
+            if len(key) != 2 or key[0] != PROTOCOL_NAME:
+                return
+            view = key[1]
+            if not isinstance(view, int) or not 0 <= view <= self._config.num_views:
+                return
+            outcome = self._instance(view).handle_log(envelope)
+            if outcome.should_forward:
+                self.forward(envelope)
+        elif isinstance(payload, ProposalMessage):
+            if not 0 <= payload.view <= self._config.num_views:
+                return
+            if self._book(payload.view).handle(envelope):
+                self.forward(envelope)
+
+
+ByzantineFactory = Callable[
+    [int, SigningKey, Simulator, Network, Trace, ProtocolContext], object
+]
+
+
+@dataclass
+class TobSvdResult:
+    """Everything a finished run exposes to the analysis layer."""
+
+    config: TobSvdConfig
+    trace: Trace
+    network: Network
+    simulator: Simulator
+    validators: dict[int, TobSvdValidator]
+    context: ProtocolContext
+    schedule: AwakeSchedule
+    corruption: CorruptionPlan
+
+    @property
+    def honest_ids(self) -> frozenset[int]:
+        return frozenset(self.validators)
+
+    def all_decisions_compatible(self) -> bool:
+        """The Safety property over the whole trace."""
+
+        logs = [event.log for event in self.trace.decisions]
+        return all(
+            a.compatible_with(b) for i, a in enumerate(logs) for b in logs[i + 1 :]
+        )
+
+    def decided_logs(self) -> dict[int, Log]:
+        """Highest decided log per honest validator."""
+
+        return {vid: val.highest_decided for vid, val in self.validators.items()}
+
+
+class TobSvdProtocol:
+    """Builds and runs one TOB-SVD execution."""
+
+    def __init__(
+        self,
+        config: TobSvdConfig,
+        schedule: AwakeSchedule | None = None,
+        corruption: CorruptionPlan | None = None,
+        byzantine_factory: ByzantineFactory | None = None,
+        delay_policy: DelayPolicy | None = None,
+        pool: TransactionPool | None = None,
+        validator_class: type[TobSvdValidator] | None = None,
+        buffer_while_asleep: bool = True,
+    ) -> None:
+        self.config = config
+        self.simulator = Simulator(seed=config.seed)
+        self.registry = KeyRegistry(config.n, seed=config.seed)
+        policy = delay_policy if delay_policy is not None else UniformDelay(config.delta)
+        self.network = Network(
+            self.simulator,
+            config.delta,
+            self.registry,
+            policy,
+            buffer_while_asleep=buffer_while_asleep,
+        )
+        self.trace = Trace()
+        self.schedule = schedule if schedule is not None else AwakeSchedule.always_awake(config.n)
+        self.corruption = corruption if corruption is not None else CorruptionPlan.none()
+        self.pool = pool if pool is not None else TransactionPool()
+        self.context = ProtocolContext(
+            config=config,
+            vrf=VRF(seed=config.seed),
+            pool=self.pool,
+            registry=self.registry,
+        )
+        self._controller = SleepController(
+            self.simulator, self.network, self.schedule, self.corruption, self.trace
+        )
+        self.validators: dict[int, TobSvdValidator] = {}
+        self.byzantine_nodes: dict[int, object] = {}
+
+        validator_class = validator_class if validator_class is not None else TobSvdValidator
+        byzantine = self.corruption.initial_byzantine
+        for vid in range(config.n):
+            key = self.registry.key_for(vid)
+            if vid in byzantine:
+                if byzantine_factory is None:
+                    raise ValueError("byzantine validators declared but no factory given")
+                node = byzantine_factory(
+                    vid, key, self.simulator, self.network, self.trace, self.context
+                )
+                self.network.register(node)  # type: ignore[arg-type]
+                self._controller.manage(node)  # type: ignore[arg-type]
+                self.byzantine_nodes[vid] = node
+                continue
+            validator = validator_class(
+                vid, key, self.simulator, self.network, self.trace, self.context
+            )
+            self.network.register(validator)
+            self._controller.manage(validator)
+            self.validators[vid] = validator
+
+    def run(self) -> TobSvdResult:
+        """Execute the configured number of views and return the result."""
+
+        horizon = self.config.horizon
+        self._controller.install(horizon)
+        for validator in self.validators.values():
+            validator.setup()
+        for node in self.byzantine_nodes.values():
+            setup = getattr(node, "setup", None)
+            if callable(setup):
+                setup()
+        self.simulator.run_until(horizon)
+        return TobSvdResult(
+            config=self.config,
+            trace=self.trace,
+            network=self.network,
+            simulator=self.simulator,
+            validators=self.validators,
+            context=self.context,
+            schedule=self.schedule,
+            corruption=self.corruption,
+        )

@@ -1,0 +1,105 @@
+"""Base class for honest protocol validators.
+
+Provides the plumbing every honest validator shares:
+
+* signing and broadcasting payloads,
+* forwarding received envelopes ("at any time, honest validators forward
+  any message received", subject to the per-sender caps enforced by the
+  protocol state),
+* timers that silently skip when the validator is asleep or has been
+  corrupted (a corrupted validator's honest code must never run again —
+  the adversary owns it),
+* wake/sleep/corruption hooks for the sleep controller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.crypto.signatures import SigningKey
+from repro.net.messages import Envelope, Payload
+from repro.net.network import Network
+from repro.sim.simulator import EventPriority, Simulator
+from repro.trace import Trace
+
+
+class BaseValidator:
+    """Common machinery for honest validators."""
+
+    def __init__(
+        self,
+        validator_id: int,
+        key: SigningKey,
+        simulator: Simulator,
+        network: Network,
+        trace: Trace,
+    ) -> None:
+        if key.validator_id != validator_id:
+            raise ValueError("signing key does not match validator id")
+        self.validator_id = validator_id
+        self.awake = True
+        self.corrupted = False
+        self._key = key
+        self._sim = simulator
+        self._network = network
+        self._trace = trace
+        self._seen_envelopes: set[str] = set()
+
+    # -- messaging -----------------------------------------------------------
+
+    def sign(self, payload: Payload) -> Envelope:
+        return Envelope(payload=payload, signature=self._key.sign(payload.digest()))
+
+    def broadcast(self, payload: Payload) -> Envelope:
+        """Sign and broadcast a payload; returns the envelope sent."""
+
+        envelope = self.sign(payload)
+        self._network.broadcast(envelope)
+        return envelope
+
+    def forward(self, envelope: Envelope) -> None:
+        """Re-broadcast a received envelope (originals keep their signer)."""
+
+        self._network.forward(self.validator_id, envelope)
+
+    def receive(self, envelope: Envelope, time: int) -> None:
+        """Network entry point; dedupes and dispatches to ``handle_envelope``."""
+
+        if self.corrupted:
+            return  # the adversary drives this validator now
+        envelope_id = envelope.envelope_id
+        if envelope_id in self._seen_envelopes:
+            return
+        self._seen_envelopes.add(envelope_id)
+        self.handle_envelope(envelope, time)
+
+    def handle_envelope(self, envelope: Envelope, time: int) -> None:
+        """Protocol-specific message handling; override in subclasses."""
+
+        raise NotImplementedError
+
+    # -- timers ----------------------------------------------------------------
+
+    def schedule_timer(self, time: int, callback: Callable[[], None], note: str = "") -> None:
+        """Schedule a protocol action that only runs if awake and honest."""
+
+        def guarded() -> None:
+            if self.awake and not self.corrupted:
+                callback()
+
+        self._sim.schedule(time, EventPriority.TIMER, guarded, note=note)
+
+    @property
+    def now(self) -> int:
+        return self._sim.now
+
+    # -- controller hooks --------------------------------------------------------
+
+    def on_wake(self, time: int) -> None:
+        """Called after buffered messages were flushed; override if needed."""
+
+    def on_sleep(self, time: int) -> None:
+        """Called when the adversary puts this validator to sleep."""
+
+    def on_corrupted(self, time: int) -> None:
+        """Called when a scheduled corruption takes effect."""

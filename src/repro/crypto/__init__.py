@@ -1,0 +1,30 @@
+"""Simulated cryptographic substrate.
+
+The paper uses cryptography for exactly three things:
+
+1. **Attribution** — every message is signed, and "as long as a validator
+   remains honest, the adversary cannot forge its signatures" (Section 3.1).
+2. **Equivocation evidence** — two differently-signed ``LOG`` messages from
+   the same validator prove equivocation (Section 3.3).
+3. **Leader ranking** — a VRF value per (validator, view) pair, unpredictable
+   to a mildly-adaptive adversary (Section 3.3).
+
+We simulate all three with deterministic hash constructions.  The
+substitution preserves the relevant behaviour because the protocols only
+ever *compare* and *verify* these objects; no experiment in the paper
+depends on actual cryptographic hardness (see DESIGN.md, Section 3).
+"""
+
+from repro.crypto.hashing import stable_digest
+from repro.crypto.signatures import KeyRegistry, Signature, SignatureError, SigningKey
+from repro.crypto.vrf import VRF, VrfOutput
+
+__all__ = [
+    "stable_digest",
+    "KeyRegistry",
+    "Signature",
+    "SignatureError",
+    "SigningKey",
+    "VRF",
+    "VrfOutput",
+]

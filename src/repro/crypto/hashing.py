@@ -1,0 +1,56 @@
+"""Deterministic content hashing for simulation objects.
+
+Every identifier in the repository (block ids, message ids, signature tags,
+VRF values) derives from :func:`stable_digest`, which canonicalises nested
+Python structures before hashing so that identical content always hashes
+identically across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def _canonical(obj: Any) -> bytes:
+    """Render ``obj`` into unambiguous bytes.
+
+    Supports the closed set of types used by the simulator: ``None``,
+    booleans, integers, floats, strings, bytes, and (nested) tuples/lists.
+    Dataclasses used in hashed positions expose a stable identifier instead
+    of being passed here directly.
+    """
+
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):
+        return b"B1" if obj else b"B0"
+    if isinstance(obj, int):
+        return b"I" + str(obj).encode()
+    if isinstance(obj, float):
+        return b"F" + repr(obj).encode()
+    if isinstance(obj, str):
+        data = obj.encode()
+        return b"S" + str(len(data)).encode() + b":" + data
+    if isinstance(obj, bytes):
+        return b"Y" + str(len(obj)).encode() + b":" + obj
+    if isinstance(obj, (tuple, list)):
+        inner = b"".join(_canonical(item) for item in obj)
+        return b"T" + str(len(obj)).encode() + b"(" + inner + b")"
+    raise TypeError(f"stable_digest cannot canonicalise {type(obj).__name__}")
+
+
+def stable_digest(obj: Any) -> str:
+    """Return a hex digest of ``obj``'s canonical encoding."""
+
+    return hashlib.sha256(_canonical(obj)).hexdigest()
+
+
+def digest_to_unit_float(digest: str) -> float:
+    """Map a hex digest to a float uniformly distributed in [0, 1).
+
+    Used by the VRF simulation: the first 13 hex characters give 52 bits of
+    mantissa, which is exactly the precision of a Python float in [0, 1).
+    """
+
+    return int(digest[:13], 16) / float(1 << 52)

@@ -1,0 +1,31 @@
+"""Experiment harness: canned scenarios and the measurement runners that
+feed the Table-1 and ablation benchmarks.
+"""
+
+from repro.harness.runner import (
+    measure_best_case_latency,
+    measure_expected_latency,
+    measure_structural_protocol,
+    measure_tobsvd_message_scaling,
+    measure_transaction_expected_latency,
+    measure_voting_phases,
+)
+from repro.harness.scenarios import (
+    churn_scenario,
+    equivocating_scenario,
+    run_scenario,
+    stable_scenario,
+)
+
+__all__ = [
+    "measure_best_case_latency",
+    "measure_expected_latency",
+    "measure_structural_protocol",
+    "measure_tobsvd_message_scaling",
+    "measure_transaction_expected_latency",
+    "measure_voting_phases",
+    "churn_scenario",
+    "equivocating_scenario",
+    "run_scenario",
+    "stable_scenario",
+]

@@ -1,0 +1,113 @@
+"""Canned TOB-SVD scenarios.
+
+Each scenario builder returns a ready-to-run :class:`TobSvdProtocol`; the
+common ones are:
+
+* :func:`stable_scenario` — full honest participation (best-case world);
+* :func:`equivocating_scenario` — ``f`` equivocating-proposer Byzantine
+  validators, the leader-failure adversary behind expected-case numbers;
+* :func:`churn_scenario` — honest validators napping on a randomized
+  schedule that respects the (5Δ, 2Δ, ½) compliance condition.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adversary.tob_attackers import make_tob_attacker_factory
+from repro.chain.transactions import TransactionPool
+from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol, TobSvdResult
+from repro.sleepy.compliance import check_compliance
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.participation import ParticipationModel
+from repro.sleepy.schedule import AwakeSchedule
+
+
+def stable_scenario(
+    n: int = 10,
+    num_views: int = 6,
+    delta: int = 4,
+    seed: int = 0,
+    pool: TransactionPool | None = None,
+) -> TobSvdProtocol:
+    """Everyone honest and always awake."""
+
+    config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
+    return TobSvdProtocol(config, pool=pool)
+
+
+def equivocating_scenario(
+    n: int = 10,
+    f: int = 4,
+    num_views: int = 8,
+    delta: int = 4,
+    seed: int = 0,
+    attacker: str = "equivocating-proposer",
+    pool: TransactionPool | None = None,
+) -> TobSvdProtocol:
+    """``f`` Byzantine validators running the chosen attack.
+
+    The Byzantine ids are the top ``f`` — keeping honest ids contiguous
+    from 0 makes traces easier to read.  ``f`` must keep the run inside
+    the ½ resilience bound.
+    """
+
+    if not 0 <= f < (n + 1) // 2 + (n % 2):
+        raise ValueError("f out of range")
+    if 2 * f >= n:
+        raise ValueError(f"f={f} violates |B| < 1/2 of {n} active validators")
+    config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
+    corruption = CorruptionPlan.static(frozenset(range(n - f, n)))
+    return TobSvdProtocol(
+        config,
+        corruption=corruption,
+        byzantine_factory=make_tob_attacker_factory(attacker),
+        pool=pool,
+    )
+
+
+def churn_scenario(
+    n: int = 12,
+    num_views: int = 8,
+    delta: int = 4,
+    seed: int = 0,
+    churner_fraction: float = 0.4,
+    pool: TransactionPool | None = None,
+    require_compliance: bool = True,
+) -> TobSvdProtocol:
+    """Honest validators napping on a randomized, compliance-checked schedule.
+
+    Awake periods are at least two views long and naps at least
+    T_s + T_b long, so sleepers re-qualify as active before they matter.
+    Raises if the generated schedule violates Condition (1) (retry with a
+    different seed in that case).
+    """
+
+    config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
+    rng = random.Random(seed)
+    churners = rng.sample(range(n), k=max(1, int(n * churner_fraction)))
+    horizon = config.horizon
+    schedule = AwakeSchedule.random_churn(
+        n=n,
+        horizon=horizon,
+        rng=rng,
+        churners=churners,
+        min_awake=2 * config.time.view_ticks,
+        min_asleep=(2 + 5) * delta,
+    )
+    if require_compliance:
+        t_b, t_s, rho = config.sleepy_model()
+        model = ParticipationModel(schedule=schedule, corruption=CorruptionPlan.none())
+        report = check_compliance(model, t_b, t_s, rho, horizon)
+        if not report.compliant:
+            raise ValueError(
+                f"churn schedule for seed {seed} violates the sleepy-model "
+                f"condition at t={report.first_violation().time}; pick another seed"
+            )
+    return TobSvdProtocol(config, schedule=schedule, pool=pool)
+
+
+def run_scenario(protocol: TobSvdProtocol) -> TobSvdResult:
+    """Run a built scenario (kept separate so callers can inject traffic first)."""
+
+    return protocol.run()

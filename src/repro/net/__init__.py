@@ -1,0 +1,52 @@
+"""Synchronous message-passing network with Delta-bounded delays.
+
+Implements the communication model of Section 3.1:
+
+* every message sent at time ``t`` is delivered by ``t + Delta`` (the
+  adversary chooses the exact per-recipient delay within the bound),
+* messages addressed to asleep validators are buffered and handed over the
+  moment the validator wakes (the sleepy-model delivery assumption),
+* every message is signed; the network verifies signatures on delivery so
+  no forged envelope ever reaches protocol code.
+
+Per-delivery counting feeds the communication-complexity experiment
+(Table 1, last row).
+"""
+
+from repro.net.delays import (
+    AdversarialDelay,
+    DelayPolicy,
+    EagerDelay,
+    RandomDelay,
+    SplitDelay,
+    UniformDelay,
+)
+from repro.net.messages import (
+    Envelope,
+    LogMessage,
+    Payload,
+    ProposalMessage,
+    RecoveryMessage,
+    StructuralVote,
+    VoteMessage,
+)
+from repro.net.network import MessageStats, Network, NetworkNode
+
+__all__ = [
+    "AdversarialDelay",
+    "DelayPolicy",
+    "EagerDelay",
+    "RandomDelay",
+    "SplitDelay",
+    "UniformDelay",
+    "Envelope",
+    "LogMessage",
+    "Payload",
+    "ProposalMessage",
+    "RecoveryMessage",
+    "StructuralVote",
+    "VoteMessage",
+    "MessageStats",
+    "Network",
+    "NetworkNode",
+]

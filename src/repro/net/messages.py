@@ -1,0 +1,140 @@
+"""Wire messages.
+
+The paper's protocols use a single message type, ``<LOG, Lambda>_i``
+(Section 3.3), plus view proposals carrying a VRF value.  The Momose-Ren
+baseline (Section 4) additionally uses ``VOTE`` messages, and the
+structural baseline simulators use a generic per-phase vote.  All payloads
+are immutable and carry a content digest that the sender signs.
+
+Messages that belong to a Graded Agreement instance are tagged with that
+instance's key: the paper's GA_v instances run concurrently and overlap
+(Figure 3), so a LOG message is only meaningful relative to one instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.chain.log import Log
+from repro.crypto.hashing import stable_digest
+from repro.crypto.signatures import Signature
+from repro.crypto.vrf import VrfOutput
+
+
+@dataclass(frozen=True)
+class LogMessage:
+    """``<LOG, Lambda>`` scoped to one GA instance.
+
+    Attributes:
+        ga_key: Identifier of the GA instance this message belongs to
+            (e.g. ``("tobsvd", view)`` or ``("ga2", 0)``).
+        log: The log being input/supported.
+    """
+
+    ga_key: tuple
+    log: Log
+
+    def digest(self) -> str:
+        return stable_digest(("LOG", tuple(self.ga_key), self.log.log_id))
+
+
+@dataclass(frozen=True)
+class ProposalMessage:
+    """A view proposal: a log extension plus the proposer's VRF output."""
+
+    view: int
+    log: Log
+    vrf: VrfOutput
+
+    def digest(self) -> str:
+        return stable_digest(
+            ("PROPOSAL", self.view, self.log.log_id, self.vrf.proof)
+        )
+
+
+@dataclass(frozen=True)
+class VoteMessage:
+    """A ``VOTE`` for a log, used by the Momose-Ren GA (Section 4)."""
+
+    ga_key: tuple
+    log: Log
+
+    def digest(self) -> str:
+        return stable_digest(("VOTE", tuple(self.ga_key), self.log.log_id))
+
+
+@dataclass(frozen=True)
+class StructuralVote:
+    """A per-phase vote used by the structural baseline simulators.
+
+    Attributes:
+        protocol: Baseline name (``"mmr2"``, ``"gl"``, ...).
+        view: View number.
+        phase_index: Which of the view's voting phases this vote belongs to.
+        log: The supported log.
+    """
+
+    protocol: str
+    view: int
+    phase_index: int
+    log: Log
+
+    def digest(self) -> str:
+        return stable_digest(
+            ("SVOTE", self.protocol, self.view, self.phase_index, self.log.log_id)
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryMessage:
+    """A wake-up RECOVERY request (Section 2's recovery discussion).
+
+    The paper leaves recovery out of scope; we model the request so the
+    stabilization-period ablation (EXPERIMENTS.md, A5) can charge waking
+    validators the extra 2*Delta the paper argues for.
+    """
+
+    requested_at: int
+
+    def digest(self) -> str:
+        return stable_digest(("RECOVERY", self.requested_at))
+
+
+Payload = Union[LogMessage, ProposalMessage, VoteMessage, StructuralVote, RecoveryMessage]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A signed message in flight.
+
+    ``sender`` always equals ``signature.signer``; the network verifies the
+    signature on send, so protocol code can trust attribution.  Envelope
+    identity is content-based: forwarding an envelope does not create a new
+    identity, which is what lets recipients deduplicate echoes.
+    """
+
+    payload: Payload
+    signature: Signature
+
+    @property
+    def sender(self) -> int:
+        return self.signature.signer
+
+    @property
+    def envelope_id(self) -> str:
+        return stable_digest(("env", self.payload.digest(), self.signature.signer))
+
+    def size_units(self) -> int:
+        """Message size proxy in "block" units (L in Table 1's complexity).
+
+        Log-bearing messages cost the log length; others cost 1.
+        """
+
+        log = getattr(self.payload, "log", None)
+        if log is None:
+            return 1
+        return len(log)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Envelope({type(self.payload).__name__} from v{self.sender})"

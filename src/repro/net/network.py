@@ -1,0 +1,214 @@
+"""The broadcast network: signature checking, buffering, delivery counting.
+
+Responsibilities:
+
+* **Broadcast** an envelope from one validator to all others, with
+  per-recipient delays chosen by the installed :class:`DelayPolicy`
+  (clamped to Delta — the adversary cannot break synchrony).
+* **Self-delivery**: a sender processes its own message immediately, so a
+  validator's own LOG message is always counted in its V sets, matching
+  the paper's quorum arithmetic.
+* **Sleep buffering**: deliveries to asleep validators queue up and are
+  flushed, in original delivery order, the instant the validator wakes
+  (Section 3.1's delivery assumption).
+* **Accounting**: every point-to-point delivery is counted, per payload
+  type and weighted by message size, feeding the communication-complexity
+  experiment.
+
+Forwarding ("at any time, honest validators forward any message received")
+is invoked by protocol code via :meth:`Network.forward`; the network itself
+never duplicates traffic, which keeps the echo rules (at most two LOG
+messages per sender, Section 3.3) in one place — the validator state layer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.crypto.signatures import KeyRegistry, SignatureError
+from repro.net.delays import DelayPolicy
+from repro.net.messages import Envelope
+from repro.sim.simulator import EventPriority, Simulator
+
+
+class NetworkNode(Protocol):
+    """What the network needs from a validator object."""
+
+    validator_id: int
+    awake: bool
+
+    def receive(self, envelope: Envelope, time: int) -> None:
+        """Handle a delivered envelope at ``time``."""
+        ...
+
+
+@dataclass
+class MessageStats:
+    """Delivery counters for complexity measurements."""
+
+    sends: int = 0
+    deliveries: int = 0
+    weighted_deliveries: int = 0
+    by_type: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_delivery(self, envelope: Envelope) -> None:
+        self.deliveries += 1
+        self.weighted_deliveries += envelope.size_units()
+        self.by_type[type(envelope.payload).__name__] += 1
+
+
+class Network:
+    """A Delta-bounded synchronous broadcast network."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        delta: int,
+        registry: KeyRegistry,
+        delay_policy: DelayPolicy,
+        buffer_while_asleep: bool = True,
+    ) -> None:
+        """``buffer_while_asleep`` selects the sleep semantics.
+
+        True (default) is the paper's theoretical model: messages to
+        asleep validators queue up and are delivered on wake.  False is
+        the *practical* model of Section 2: asleep validators lose
+        traffic and must run the RECOVERY protocol
+        (:mod:`repro.core.recovery`) to catch up.
+        """
+
+        self._sim = simulator
+        self._delta = delta
+        self._registry = registry
+        self._policy = delay_policy
+        self._buffer_while_asleep = buffer_while_asleep
+        self._nodes: dict[int, NetworkNode] = {}
+        self._pending: dict[int, list[Envelope]] = defaultdict(list)
+        self.stats = MessageStats()
+        self.dropped_while_asleep = 0
+
+    @property
+    def delta(self) -> int:
+        return self._delta
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    def register(self, node: NetworkNode) -> None:
+        """Attach a validator to the network."""
+
+        if node.validator_id in self._nodes:
+            raise ValueError(f"validator {node.validator_id} already registered")
+        self._nodes[node.validator_id] = node
+
+    def node(self, validator_id: int) -> NetworkNode:
+        return self._nodes[validator_id]
+
+    def set_delay_policy(self, policy: DelayPolicy) -> None:
+        """Swap the delay policy (used by adversaries mid-run)."""
+
+        self._policy = policy
+
+    # -- sending -----------------------------------------------------------
+
+    def broadcast(self, envelope: Envelope) -> None:
+        """Send ``envelope`` from its signer to every validator.
+
+        The signature is verified once here; an invalid signature is a
+        simulator bug (honest code signs correctly, Byzantine code owns its
+        keys), so it raises rather than being silently dropped.
+        """
+
+        self._registry.require_valid(envelope.signature, envelope.payload.digest())
+        self.stats.sends += 1
+        sender = envelope.sender
+        now = self._sim.now
+        for vid in self._nodes:
+            if vid == sender:
+                self._deliver(vid, envelope)
+                continue
+            delay = self._policy.delay(sender, vid, envelope, now)
+            delay = max(0, min(delay, self._delta))
+            self._sim.schedule(
+                now + delay,
+                EventPriority.DELIVERY,
+                lambda v=vid, e=envelope: self._deliver(v, e),
+                note=f"deliver to v{vid}",
+            )
+
+    def forward(self, forwarder_id: int, envelope: Envelope) -> None:
+        """Re-broadcast a received envelope on behalf of ``forwarder_id``.
+
+        The envelope keeps its original signer; the forwarder only pays the
+        traffic.  Self-delivery is skipped (the forwarder already has it),
+        and the original sender is skipped too — it certainly has its own
+        message, and skipping it keeps delivery counts tight.
+        """
+
+        self.stats.sends += 1
+        now = self._sim.now
+        for vid in self._nodes:
+            if vid == forwarder_id or vid == envelope.sender:
+                continue
+            delay = self._policy.delay(forwarder_id, vid, envelope, now)
+            delay = max(0, min(delay, self._delta))
+            self._sim.schedule(
+                now + delay,
+                EventPriority.DELIVERY,
+                lambda v=vid, e=envelope: self._deliver(v, e),
+                note=f"forward to v{vid}",
+            )
+
+    def send_direct(self, envelope: Envelope, recipient: int, delay: int) -> None:
+        """Byzantine-only: a targeted send with an explicit delay.
+
+        Honest validators always broadcast; the adversary may send
+        different messages to different validators.  ``delay`` is still
+        clamped to Delta.
+        """
+
+        self._registry.require_valid(envelope.signature, envelope.payload.digest())
+        self.stats.sends += 1
+        delay = max(0, min(delay, self._delta))
+        self._sim.schedule(
+            self._sim.now + delay,
+            EventPriority.DELIVERY,
+            lambda v=recipient, e=envelope: self._deliver(v, e),
+            note=f"direct to v{recipient}",
+        )
+
+    # -- delivery ----------------------------------------------------------
+
+    def _deliver(self, recipient: int, envelope: Envelope) -> None:
+        node = self._nodes[recipient]
+        if not node.awake:
+            if self._buffer_while_asleep:
+                self._pending[recipient].append(envelope)
+            else:
+                self.dropped_while_asleep += 1
+            return
+        self.stats.record_delivery(envelope)
+        node.receive(envelope, self._sim.now)
+
+    def flush_pending(self, recipient: int) -> int:
+        """Deliver all buffered messages to a validator that just woke up.
+
+        Returns the number of flushed messages.  Called by the sleep
+        controller with CONTROL priority, i.e. before same-tick deliveries
+        and timers.
+        """
+
+        node = self._nodes[recipient]
+        if not node.awake:
+            raise RuntimeError(f"flush_pending on asleep validator {recipient}")
+        buffered = self._pending.pop(recipient, [])
+        for envelope in buffered:
+            self.stats.record_delivery(envelope)
+            node.receive(envelope, self._sim.now)
+        return len(buffered)
+
+    def pending_count(self, recipient: int) -> int:
+        return len(self._pending.get(recipient, []))

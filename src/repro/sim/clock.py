@@ -1,0 +1,59 @@
+"""Time configuration: ticks, Delta, views and protocol phase arithmetic.
+
+All protocol deadlines in the paper are multiples of the network delay
+bound Delta, and TOB-SVD views last exactly 4*Delta (Section 5.3).
+:class:`TimeConfig` centralises the conversions so the rest of the code
+never hard-codes tick arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimeConfig:
+    """Tick-level time parameters of a simulation.
+
+    Attributes:
+        delta: Network delay bound in ticks (Delta > 0).
+        view_length_deltas: View length in Delta units (4 for TOB-SVD).
+    """
+
+    delta: int = 4
+    view_length_deltas: int = 4
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.view_length_deltas <= 0:
+            raise ValueError("view length must be positive")
+
+    @property
+    def view_ticks(self) -> int:
+        """Length of one view in ticks."""
+
+        return self.view_length_deltas * self.delta
+
+    def deltas(self, count: float) -> int:
+        """``count`` Delta units expressed in ticks (must be integral)."""
+
+        ticks = count * self.delta
+        if ticks != int(ticks):
+            raise ValueError(f"{count} deltas is not a whole number of ticks")
+        return int(ticks)
+
+    def view_start(self, view: int) -> int:
+        """Tick at which view ``view`` begins (t_v = view_ticks * v)."""
+
+        return self.view_ticks * view
+
+    def view_of(self, time: int) -> int:
+        """The view containing tick ``time``."""
+
+        return time // self.view_ticks
+
+    def in_deltas(self, ticks: int) -> float:
+        """Express a tick count in Delta units (analysis convenience)."""
+
+        return ticks / self.delta

@@ -1,0 +1,154 @@
+"""The event queue at the heart of every experiment.
+
+The simulator is deliberately minimal: a priority queue of
+``(time, priority, seq, callback)`` entries and a run loop.  Determinism is
+a hard requirement — every experiment in EXPERIMENTS.md is reproducible
+from its seed — so the only tie-breakers are the explicit priority class
+and a monotonically increasing sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable
+
+
+class EventPriority(IntEnum):
+    """Execution order of events scheduled at the same tick.
+
+    CONTROL events (wake/sleep/corruption) run first so that a validator
+    waking at ``t`` receives its buffered messages before any timer at
+    ``t``.  DELIVERY before TIMER encodes "a message sent at ``t`` arrives
+    *by* ``t + Delta``": it is usable by the timer firing at that tick.
+    """
+
+    CONTROL = 0
+    DELIVERY = 1
+    TIMER = 2
+    ANALYSIS = 3
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """Internal queue entry."""
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    note: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with integer time."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: list[ScheduledEvent] = []
+        self._seq = 0
+        self._now = 0
+        self._running = False
+        self._events_processed = 0
+        self.rng = random.Random(seed)
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in ticks."""
+
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(
+        self,
+        time: int,
+        priority: EventPriority,
+        callback: Callable[[], None],
+        note: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
+
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = ScheduledEvent(
+            time=time,
+            priority=int(priority),
+            seq=self._seq,
+            callback=callback,
+            note=note,
+        )
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: int,
+        priority: EventPriority,
+        callback: Callable[[], None],
+        note: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay`` ticks."""
+
+        return self.schedule(self._now + delay, priority, callback, note)
+
+    @staticmethod
+    def cancel(event: ScheduledEvent) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+
+        event.cancelled = True
+
+    def run_until(self, end_time: int) -> None:
+        """Process every event scheduled strictly before or at ``end_time``.
+
+        Events an executing callback schedules at or before ``end_time``
+        are processed in the same call.
+        """
+
+        if self._running:
+            raise RuntimeError("simulator is not re-entrant")
+        self._running = True
+        try:
+            while self._queue and self._queue[0].time <= end_time:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._events_processed += 1
+                event.callback()
+            self._now = max(self._now, end_time)
+        finally:
+            self._running = False
+
+    def run_to_exhaustion(self, safety_limit: int = 10_000_000) -> None:
+        """Process every pending event (bounded by ``safety_limit`` events)."""
+
+        if self._running:
+            raise RuntimeError("simulator is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._events_processed += 1
+                event.callback()
+                processed += 1
+                if processed > safety_limit:
+                    raise RuntimeError("event-loop safety limit exceeded")
+        finally:
+            self._running = False
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled queued events (diagnostic)."""
+
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,34 @@
+"""The sleepy model (Section 3.1): schedules, participation sets, compliance.
+
+This package makes the paper's adversary model *executable*:
+
+* :mod:`repro.sleepy.schedule` — per-validator awake/asleep interval
+  schedules, with generators for stable, churning and adversarial
+  participation patterns;
+* :mod:`repro.sleepy.corruption` — the growing, mildly-adaptive adversary:
+  corruptions are scheduled at time ``t`` and take effect at ``t + Delta``;
+* :mod:`repro.sleepy.participation` — the sets ``H_t``, ``B_t`` and
+  ``H_{t1,t2}`` and the *active validators* ``H_{t-Ts,t} ∪ B_{t+Tb}``;
+* :mod:`repro.sleepy.compliance` — the (T_b, T_s, rho)-sleepy-model
+  Condition (1), checked tick by tick over a whole execution, so every
+  experiment can prove its adversary stayed inside the model (or
+  deliberately outside it, for the ablations);
+* :mod:`repro.sleepy.controller` — drives wake/sleep/corruption events
+  through the simulator.
+"""
+
+from repro.sleepy.compliance import ComplianceReport, check_compliance
+from repro.sleepy.controller import SleepController
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.participation import ParticipationModel
+from repro.sleepy.schedule import AwakeSchedule, Interval
+
+__all__ = [
+    "ComplianceReport",
+    "check_compliance",
+    "SleepController",
+    "CorruptionPlan",
+    "ParticipationModel",
+    "AwakeSchedule",
+    "Interval",
+]

@@ -1,0 +1,107 @@
+"""The (T_b, T_s, rho)-sleepy-model compliance check — paper Condition (1).
+
+A system is compliant iff for every time ``t >= 0``:
+
+    |B_{t+Tb}|  <  rho * |H_{t-Ts,t} ∪ B_{t+Tb}|
+
+Experiments declare their model parameters and the checker walks the whole
+horizon, so we can tell "the protocol failed" apart from "the adversary
+left the model" — the distinction every safety/liveness experiment rests
+on.  The TOB-SVD protocol needs the (5Δ, 2Δ, ½) model; its GA building
+blocks need (3Δ, 0, ½) and (5Δ, 0, ½) respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sleepy.participation import ParticipationModel
+
+
+@dataclass(frozen=True)
+class ComplianceViolation:
+    """Condition (1) fails at ``time``."""
+
+    time: int
+    byzantine_count: int
+    active_count: int
+    bound: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Violation(t={self.time}: |B|={self.byzantine_count} "
+            f">= {self.bound:.2f} of |active|={self.active_count})"
+        )
+
+
+@dataclass
+class ComplianceReport:
+    """Outcome of a compliance sweep over ``[0, horizon]``."""
+
+    t_b: int
+    t_s: int
+    rho: float
+    horizon: int
+    violations: list[ComplianceViolation] = field(default_factory=list)
+    min_margin: float = float("inf")
+    min_margin_time: int = -1
+
+    @property
+    def compliant(self) -> bool:
+        return not self.violations
+
+    def first_violation(self) -> ComplianceViolation | None:
+        return self.violations[0] if self.violations else None
+
+
+def check_compliance(
+    model: ParticipationModel,
+    t_b: int,
+    t_s: int,
+    rho: float,
+    horizon: int,
+    step: int = 1,
+) -> ComplianceReport:
+    """Sweep Condition (1) over ``t in [0, horizon]`` with stride ``step``.
+
+    The *margin* at ``t`` is ``rho * |active| - |B_{t+Tb}|``; the report
+    tracks its minimum, which experiments use to place adversaries exactly
+    at the model boundary.
+    """
+
+    if not 0 < rho <= 0.5:
+        raise ValueError("rho must lie in (0, 1/2]")
+    report = ComplianceReport(t_b=t_b, t_s=t_s, rho=rho, horizon=horizon)
+    for time in range(0, horizon + 1, step):
+        byzantine = model.byzantine_at(time + t_b)
+        active = model.active_at(time, t_b, t_s)
+        bound = rho * len(active)
+        margin = bound - len(byzantine)
+        if margin < report.min_margin:
+            report.min_margin = margin
+            report.min_margin_time = time
+        if len(byzantine) >= bound:
+            report.violations.append(
+                ComplianceViolation(
+                    time=time,
+                    byzantine_count=len(byzantine),
+                    active_count=len(active),
+                    bound=bound,
+                )
+            )
+    return report
+
+
+def max_tolerable_byzantine(n_active: int, rho: float = 0.5) -> int:
+    """Largest Byzantine count satisfying ``|B| < rho * n_active``.
+
+    With rho = 1/2 this is the strict minority: ``ceil(n/2) - 1``.
+    """
+
+    import math
+
+    bound = rho * n_active
+    f = math.ceil(bound) - 1
+    if f >= bound:  # bound was an integer boundary
+        f = int(bound) - 1
+    return max(0, f)

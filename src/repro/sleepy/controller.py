@@ -1,0 +1,139 @@
+"""Executes sleep schedules and corruption plans on a running simulation.
+
+The controller translates the declarative :class:`AwakeSchedule` and
+:class:`CorruptionPlan` into CONTROL-priority events:
+
+* at a wake transition: mark the validator awake, flush its buffered
+  messages (the sleepy model's "delivered in the subsequent time step"),
+  then call its ``on_wake`` hook;
+* at a sleep transition: mark it asleep;
+* at a corruption's *effective* time: flip the validator to Byzantine and
+  hand it to the adversary strategy, if one is installed.
+
+CONTROL priority means all of this happens before same-tick deliveries and
+protocol timers, so a validator waking at ``t`` participates fully at ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.net.network import Network
+from repro.sim.simulator import EventPriority, Simulator
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.schedule import AwakeSchedule
+from repro.trace import ControlEvent, Trace
+
+
+class ControllableNode(Protocol):
+    """What the controller needs from a validator object."""
+
+    validator_id: int
+    awake: bool
+    corrupted: bool
+
+    def on_wake(self, time: int) -> None: ...
+
+    def on_sleep(self, time: int) -> None: ...
+
+    def on_corrupted(self, time: int) -> None: ...
+
+
+class SleepController:
+    """Wires a schedule + corruption plan into the simulator."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        schedule: AwakeSchedule,
+        corruption: CorruptionPlan,
+        trace: Trace | None = None,
+    ) -> None:
+        self._sim = simulator
+        self._network = network
+        self._schedule = schedule
+        self._corruption = corruption
+        self._trace = trace
+        self._nodes: dict[int, ControllableNode] = {}
+
+    def manage(self, node: ControllableNode) -> None:
+        """Register a node; its initial awake state comes from the schedule.
+
+        Byzantine validators are always awake regardless of the schedule
+        (Section 3.1), which :meth:`install` enforces.
+        """
+
+        self._nodes[node.validator_id] = node
+        vid = node.validator_id
+        if vid in self._corruption.initial_byzantine:
+            node.awake = True
+            node.corrupted = True
+        else:
+            node.awake = self._schedule.awake(vid, 0)
+
+    def install(self, horizon: int) -> None:
+        """Schedule every transition within ``[0, horizon]``."""
+
+        for vid, node in self._nodes.items():
+            if vid in self._corruption.initial_byzantine:
+                continue  # always awake, never transitions
+            for time, becomes_awake in self._schedule.transition_times(vid, horizon):
+                if time == 0:
+                    node.awake = becomes_awake
+                    continue
+                if becomes_awake:
+                    self._sim.schedule(
+                        time,
+                        EventPriority.CONTROL,
+                        lambda v=vid: self._wake(v),
+                        note=f"wake v{vid}",
+                    )
+                else:
+                    self._sim.schedule(
+                        time,
+                        EventPriority.CONTROL,
+                        lambda v=vid: self._sleep(v),
+                        note=f"sleep v{vid}",
+                    )
+        for corruption in self._corruption.corruption_events():
+            if corruption.effective_at > horizon:
+                continue
+            self._sim.schedule(
+                max(corruption.effective_at, 0),
+                EventPriority.CONTROL,
+                lambda c=corruption: self._corrupt(c.validator),
+                note=f"corrupt v{corruption.validator}",
+            )
+
+    # -- transitions --------------------------------------------------------
+
+    def _wake(self, vid: int) -> None:
+        node = self._nodes[vid]
+        if node.corrupted:
+            return  # Byzantine validators are always awake already
+        node.awake = True
+        self._network.flush_pending(vid)
+        node.on_wake(self._sim.now)
+        if self._trace is not None:
+            self._trace.emit_control(ControlEvent(self._sim.now, "wake", vid))
+
+    def _sleep(self, vid: int) -> None:
+        node = self._nodes[vid]
+        if node.corrupted:
+            return
+        node.awake = False
+        node.on_sleep(self._sim.now)
+        if self._trace is not None:
+            self._trace.emit_control(ControlEvent(self._sim.now, "sleep", vid))
+
+    def _corrupt(self, vid: int) -> None:
+        node = self._nodes[vid]
+        if node.corrupted:
+            return
+        node.corrupted = True
+        node.awake = True  # Byzantine validators remain always awake
+        self._network.flush_pending(vid)
+        node.on_corrupted(self._sim.now)
+        if self._trace is not None:
+            self._trace.emit_control(ControlEvent(self._sim.now, "corrupt-effective", vid))

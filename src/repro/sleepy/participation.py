@@ -1,0 +1,83 @@
+"""Participation sets: ``H_t``, ``B_t``, ``H_{t1,t2}`` and active validators.
+
+Direct transcriptions of Section 3.1:
+
+* ``H_t`` — honest validators awake at time ``t`` (all of V for ``t < 0``);
+* ``B_t`` — Byzantine validators at time ``t`` (empty for ``t < 0``);
+* ``H_{t1,t2}`` — honest validators awake *throughout* ``[t1, t2]``
+  (the intersection of ``H_t`` over the interval);
+* the **active validators at time t** — ``H_{t-Ts,t} ∪ B_{t+Tb}``, "the
+  smallest set of validators that might send a message during a GA
+  instance starting at time t and lasting T_b".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.schedule import AwakeSchedule
+
+
+@dataclass(frozen=True)
+class ParticipationModel:
+    """Combines a sleep schedule and a corruption plan into the paper's sets."""
+
+    schedule: AwakeSchedule
+    corruption: CorruptionPlan
+
+    @property
+    def n(self) -> int:
+        return self.schedule.n
+
+    def honest_at(self, time: int) -> frozenset[int]:
+        """``H_t``: awake and not (yet) Byzantine.
+
+        A validator whose corruption is scheduled but not yet effective is
+        still honest, per the mildly-adaptive model.
+        """
+
+        if time < 0:
+            return frozenset(range(self.n))
+        byzantine = self.corruption.byzantine_at(time)
+        return frozenset(
+            vid
+            for vid in range(self.n)
+            if vid not in byzantine and self.schedule.awake(vid, time)
+        )
+
+    def byzantine_at(self, time: int) -> frozenset[int]:
+        """``B_t``."""
+
+        return self.corruption.byzantine_at(time)
+
+    def honest_throughout(self, t1: int, t2: int) -> frozenset[int]:
+        """``H_{t1,t2} = ∩_{t in [t1,t2]} H_t``.
+
+        Honesty is monotone (the Byzantine set only grows), so a validator
+        is in the intersection iff it is honest at ``t2`` and awake through
+        the whole interval.
+        """
+
+        if t2 < t1:
+            raise ValueError("empty interval")
+        byzantine_end = self.corruption.byzantine_at(t2)
+        return frozenset(
+            vid
+            for vid in range(self.n)
+            if vid not in byzantine_end
+            and self.schedule.awake_throughout(vid, t1, t2)
+        )
+
+    def active_at(self, time: int, t_b: int, t_s: int) -> frozenset[int]:
+        """The active validators ``H_{t-Ts,t} ∪ B_{t+Tb}``."""
+
+        return self.honest_throughout(time - t_s, time) | self.byzantine_at(time + t_b)
+
+    def byzantine_fraction(self, time: int, t_b: int, t_s: int) -> float:
+        """``|B_{t+Tb}| / |active|`` at ``time`` (1.0 when no one is active)."""
+
+        active = self.active_at(time, t_b, t_s)
+        if not active:
+            return 1.0
+        return len(self.byzantine_at(time + t_b)) / len(active)

@@ -1,0 +1,185 @@
+"""Awake/asleep schedules.
+
+The adversary "can fully adaptively either put validators to sleep [...] or
+wake them up" (Section 3.1).  In the simulator an execution's sleep
+behaviour is a :class:`AwakeSchedule`: for each validator, a sorted list of
+half-open awake intervals ``[start, end)``.  A validator outside every
+interval is asleep.
+
+Schedules are plain data: the :class:`~repro.sleepy.controller.SleepController`
+turns them into simulation events, and the compliance checker inspects them
+directly.  Generators for the participation patterns used throughout the
+experiments live here too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open awake interval ``[start, end)``; ``end=None`` means forever."""
+
+    start: int
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("interval start must be >= 0")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("interval end must exceed start")
+
+    def contains(self, time: int) -> bool:
+        if time < self.start:
+            return False
+        return self.end is None or time < self.end
+
+    def covers(self, t1: int, t2: int) -> bool:
+        """True iff ``[t1, t2]`` (inclusive) lies inside the interval."""
+
+        if t1 < self.start:
+            return False
+        return self.end is None or t2 < self.end
+
+
+class AwakeSchedule:
+    """Per-validator awake intervals for a whole execution."""
+
+    def __init__(self, n: int, intervals: dict[int, list[Interval]]) -> None:
+        self._n = n
+        self._intervals: dict[int, tuple[Interval, ...]] = {}
+        for vid in range(n):
+            ivs = sorted(intervals.get(vid, []))
+            for a, b in zip(ivs, ivs[1:]):
+                if a.end is None or b.start < a.end:
+                    raise ValueError(f"overlapping intervals for validator {vid}")
+            self._intervals[vid] = tuple(ivs)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def intervals_for(self, vid: int) -> tuple[Interval, ...]:
+        return self._intervals[vid]
+
+    # -- queries -------------------------------------------------------------
+
+    def awake(self, vid: int, time: int) -> bool:
+        """Is ``vid`` awake at ``time``?  Times before 0 count as awake.
+
+        The paper defines ``H_t := V`` for ``t < 0`` (footnote 7); treating
+        every validator as awake before the execution starts implements
+        that convention.
+        """
+
+        if time < 0:
+            return True
+        return any(iv.contains(time) for iv in self._intervals[vid])
+
+    def awake_throughout(self, vid: int, t1: int, t2: int) -> bool:
+        """Is ``vid`` awake at every time in ``[t1, t2]`` (inclusive)?"""
+
+        if t2 < 0:
+            return True
+        t1 = max(t1, 0)
+        return any(iv.covers(t1, t2) for iv in self._intervals[vid])
+
+    def transition_times(self, vid: int, horizon: int) -> Iterator[tuple[int, bool]]:
+        """Yield ``(time, becomes_awake)`` transitions within ``[0, horizon]``.
+
+        A validator asleep at time 0 yields an initial ``(0, False)`` so the
+        controller can put it to sleep before anything happens.
+        """
+
+        if not self.awake(vid, 0):
+            yield (0, False)
+        for iv in self._intervals[vid]:
+            if iv.start > horizon:
+                break
+            if iv.start > 0:
+                yield (iv.start, True)
+            if iv.end is not None and iv.end <= horizon:
+                yield (iv.end, False)
+
+    def awake_set(self, time: int) -> set[int]:
+        """All validators awake at ``time``."""
+
+        return {vid for vid in range(self._n) if self.awake(vid, time)}
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def always_awake(cls, n: int) -> "AwakeSchedule":
+        """Full, stable participation."""
+
+        return cls(n, {vid: [Interval(0, None)] for vid in range(n)})
+
+    @classmethod
+    def from_intervals(cls, n: int, spec: dict[int, list[tuple[int, int | None]]]) -> "AwakeSchedule":
+        """Build from ``{vid: [(start, end), ...]}`` with full-awake default."""
+
+        intervals: dict[int, list[Interval]] = {}
+        for vid in range(n):
+            if vid in spec:
+                intervals[vid] = [Interval(s, e) for s, e in spec[vid]]
+            else:
+                intervals[vid] = [Interval(0, None)]
+        return cls(n, intervals)
+
+    @classmethod
+    def random_churn(
+        cls,
+        n: int,
+        horizon: int,
+        rng: random.Random,
+        churners: Iterable[int],
+        min_awake: int,
+        min_asleep: int,
+        start_awake_probability: float = 0.8,
+    ) -> "AwakeSchedule":
+        """Alternating awake/asleep periods for the ``churners`` subset.
+
+        Non-churners stay awake for the whole horizon.  Period lengths are
+        uniform in ``[min_len, 2*min_len]`` to keep the schedule irregular
+        but bounded, which is what the liveness experiments need (every
+        validator is eventually awake long enough, per Lemma 4).
+        """
+
+        churner_set = set(churners)
+        intervals: dict[int, list[Interval]] = {}
+        for vid in range(n):
+            if vid not in churner_set:
+                intervals[vid] = [Interval(0, None)]
+                continue
+            ivs: list[Interval] = []
+            time = 0
+            awake = rng.random() < start_awake_probability
+            if not awake:
+                time = rng.randint(1, max(1, min_asleep))
+            while time <= horizon:
+                span = rng.randint(min_awake, 2 * min_awake)
+                ivs.append(Interval(time, time + span))
+                time += span + rng.randint(min_asleep, 2 * min_asleep)
+            intervals[vid] = ivs
+        return cls(n, intervals)
+
+    @classmethod
+    def late_joiner(cls, n: int, joiner: int, join_time: int) -> "AwakeSchedule":
+        """Everyone awake except ``joiner``, who wakes at ``join_time``."""
+
+        spec = {vid: [Interval(0, None)] for vid in range(n)}
+        spec[joiner] = [Interval(join_time, None)]
+        return cls(n, spec)
+
+    @classmethod
+    def nap(cls, n: int, sleeper: int, nap_start: int, nap_end: int) -> "AwakeSchedule":
+        """Everyone awake except ``sleeper``, asleep during ``[nap_start, nap_end)``."""
+
+        spec = {vid: [Interval(0, None)] for vid in range(n)}
+        napping = [Interval(0, nap_start)] if nap_start > 0 else []
+        napping.append(Interval(nap_end, None))
+        spec[sleeper] = napping
+        return cls(n, spec)

@@ -1,0 +1,143 @@
+"""Global execution trace.
+
+Every protocol implementation emits structured events into a
+:class:`Trace`; the analysis layer (latency, voting-phase counts,
+timeline rendering) works exclusively off traces, never off protocol
+internals.  Keeping the trace schema in one cross-cutting module avoids
+import cycles between ``repro.core`` and ``repro.harness``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.chain.log import Log
+
+
+@dataclass(frozen=True)
+class ProposalEvent:
+    """A validator broadcast a proposal for a view."""
+
+    time: int
+    view: int
+    proposer: int
+    log: Log
+    vrf_value: float
+
+
+@dataclass(frozen=True)
+class VotePhaseEvent:
+    """A validator performed a *voting phase*: it sent a new message.
+
+    The paper (footnote 3) defines a voting phase as a point in time where
+    an honest validator computes and sends a *new* message.  Each GA input
+    or VOTE broadcast is one voting-phase participation; the per-block
+    voting-phase metric counts distinct (protocol-wide) phases, see
+    :mod:`repro.analysis.metrics`.
+    """
+
+    time: int
+    protocol: str
+    view: int
+    phase_label: str
+    validator: int
+    log: Log
+
+
+@dataclass(frozen=True)
+class GaOutputEvent:
+    """A validator output (log, grade) from a GA instance."""
+
+    time: int
+    ga_key: tuple
+    validator: int
+    log: Log
+    grade: int
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """A validator decided (delivered) a log."""
+
+    time: int
+    view: int
+    validator: int
+    log: Log
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """Wake/sleep/corruption bookkeeping."""
+
+    time: int
+    kind: str  # "wake" | "sleep" | "corrupt-scheduled" | "corrupt-effective"
+    validator: int
+
+
+class Trace:
+    """Append-only event log shared by one simulation run."""
+
+    def __init__(self) -> None:
+        self.proposals: list[ProposalEvent] = []
+        self.vote_phases: list[VotePhaseEvent] = []
+        self.ga_outputs: list[GaOutputEvent] = []
+        self.decisions: list[DecisionEvent] = []
+        self.control: list[ControlEvent] = []
+
+    # -- emission ----------------------------------------------------------
+
+    def emit_proposal(self, event: ProposalEvent) -> None:
+        self.proposals.append(event)
+
+    def emit_vote_phase(self, event: VotePhaseEvent) -> None:
+        self.vote_phases.append(event)
+
+    def emit_ga_output(self, event: GaOutputEvent) -> None:
+        self.ga_outputs.append(event)
+
+    def emit_decision(self, event: DecisionEvent) -> None:
+        self.decisions.append(event)
+
+    def emit_control(self, event: ControlEvent) -> None:
+        self.control.append(event)
+
+    # -- queries used across analysis ---------------------------------------
+
+    def decisions_by_validator(self) -> dict[int, list[DecisionEvent]]:
+        result: dict[int, list[DecisionEvent]] = defaultdict(list)
+        for event in self.decisions:
+            result[event.validator].append(event)
+        return dict(result)
+
+    def highest_decision_per_validator(self) -> dict[int, Log]:
+        """The longest log each validator ever decided."""
+
+        result: dict[int, Log] = {}
+        for event in self.decisions:
+            current = result.get(event.validator)
+            if current is None or len(event.log) > len(current):
+                result[event.validator] = event.log
+        return result
+
+    def proposals_in_view(self, view: int) -> list[ProposalEvent]:
+        return [p for p in self.proposals if p.view == view]
+
+    def vote_phase_times(self, protocol: str) -> list[int]:
+        """Distinct times at which some honest validator sent a new message."""
+
+        return sorted({e.time for e in self.vote_phases if e.protocol == protocol})
+
+    def iter_decisions_sorted(self) -> Iterator[DecisionEvent]:
+        return iter(sorted(self.decisions, key=lambda e: (e.time, e.validator)))
+
+    def first_decision_containing(self, tx) -> DecisionEvent | None:
+        """Earliest decision whose log contains transaction ``tx``."""
+
+        best: DecisionEvent | None = None
+        for event in self.decisions:
+            if event.log.contains_transaction(tx):
+                if best is None or event.time < best.time:
+                    best = event
+        return best

@@ -1,0 +1,137 @@
+"""Executable versions of the five Graded Agreement properties (Section 3.2).
+
+Each checker takes the per-validator outputs of a finished GA run
+(``{vid: {grade: list[Log] | None}}``), the honest ids, and whatever extra
+context the property needs (inputs, participation).  They return a list of
+human-readable violation strings — empty means the property held.
+"""
+
+from __future__ import annotations
+
+from repro.chain.log import Log
+
+
+def consistency_violations(
+    outputs: dict[int, dict[int, list[Log] | None]],
+    honest: frozenset[int],
+    k: int,
+) -> list[str]:
+    """No two honest validators output conflicting logs at the same grade > 0."""
+
+    violations = []
+    for grade in range(1, k):
+        produced: list[tuple[int, Log]] = []
+        for vid in honest:
+            for log in outputs[vid].get(grade) or []:
+                produced.append((vid, log))
+        for i, (vid_a, log_a) in enumerate(produced):
+            for vid_b, log_b in produced[i + 1 :]:
+                if log_a.conflicts_with(log_b):
+                    violations.append(
+                        f"grade {grade}: v{vid_a} output {log_a!r} conflicts "
+                        f"with v{vid_b}'s {log_b!r}"
+                    )
+    return violations
+
+
+def graded_delivery_violations(
+    outputs: dict[int, dict[int, list[Log] | None]],
+    honest: frozenset[int],
+    k: int,
+) -> list[str]:
+    """(Λ, g) at any honest validator forces (Λ, g-1) at every participant."""
+
+    violations = []
+    for grade in range(1, k):
+        delivered: set[Log] = set()
+        for vid in honest:
+            delivered.update(outputs[vid].get(grade) or [])
+        for log in delivered:
+            for vid in honest:
+                lower = outputs[vid].get(grade - 1)
+                if lower is None:
+                    continue  # did not participate in the lower output phase
+                if log not in lower:
+                    violations.append(
+                        f"v{vid} participated at grade {grade - 1} but did not "
+                        f"output {log!r} delivered at grade {grade}"
+                    )
+    return violations
+
+
+def validity_violations(
+    outputs: dict[int, dict[int, list[Log] | None]],
+    honest: frozenset[int],
+    k: int,
+    common_input: Log,
+) -> list[str]:
+    """All honest inputs extend ``common_input`` -> everyone outputs it everywhere."""
+
+    violations = []
+    for grade in range(k):
+        for vid in honest:
+            got = outputs[vid].get(grade)
+            if got is None:
+                continue  # not participating is allowed
+            if common_input not in got:
+                violations.append(
+                    f"v{vid} participated at grade {grade} without outputting "
+                    f"the common input {common_input!r}"
+                )
+    return violations
+
+
+def integrity_violations(
+    outputs: dict[int, dict[int, list[Log] | None]],
+    honest: frozenset[int],
+    k: int,
+    honest_inputs: list[Log],
+) -> list[str]:
+    """Every honest output must be a prefix of some honest input."""
+
+    violations = []
+    for grade in range(k):
+        for vid in honest:
+            for log in outputs[vid].get(grade) or []:
+                if not any(inp.is_extension_of(log) for inp in honest_inputs):
+                    violations.append(
+                        f"v{vid} output {log!r} at grade {grade} although no "
+                        f"honest validator input an extension of it"
+                    )
+    return violations
+
+
+def uniqueness_violations(
+    outputs: dict[int, dict[int, list[Log] | None]],
+    honest: frozenset[int],
+    k: int,
+) -> list[str]:
+    """A single validator's same-grade outputs are pairwise compatible."""
+
+    violations = []
+    for grade in range(k):
+        for vid in honest:
+            logs = outputs[vid].get(grade) or []
+            for i, log_a in enumerate(logs):
+                for log_b in logs[i + 1 :]:
+                    if log_a.conflicts_with(log_b):
+                        violations.append(
+                            f"v{vid} output both {log_a!r} and {log_b!r} at grade {grade}"
+                        )
+    return violations
+
+
+def all_violations(
+    outputs: dict[int, dict[int, list[Log] | None]],
+    honest: frozenset[int],
+    k: int,
+    honest_inputs: list[Log],
+) -> list[str]:
+    """Consistency + Graded Delivery + Integrity + Uniqueness in one sweep."""
+
+    return (
+        consistency_violations(outputs, honest, k)
+        + graded_delivery_violations(outputs, honest, k)
+        + integrity_violations(outputs, honest, k, honest_inputs)
+        + uniqueness_violations(outputs, honest, k)
+    )

@@ -1,0 +1,110 @@
+"""Ablation A6: the equivocator time-shift (V^Δ ∩ V^3Δ) is load-bearing.
+
+Section 5.1 motivates intersecting the early snapshot with the live ``V``:
+without it, a validator can count supporters at Δ that everyone else has
+already discarded as equivocators by 2Δ, producing a grade-1 output whose
+grade-0 counterpart nobody delivered — a Graded Delivery violation.
+
+The attack: the Byzantine validators send log A to everyone at time 0 (so
+A-support lands in every V^Δ) and the conflicting log B at time Δ timed to
+arrive exactly at 2Δ (so every grade-0 participant discards them *at* the
+output phase, while every V^Δ snapshot still carries their support).
+"""
+
+from repro.adversary.base import ByzantineValidator
+from repro.chain.log import Log
+from repro.core import GA2_SPEC, run_standalone_ga
+from repro.core.ga import NAIVE_GA2_SPEC
+from repro.net.messages import LogMessage
+from repro.sleepy import CorruptionPlan
+from tests.conftest import chain_of, fork_of
+from tests.integration.ga_properties import graded_delivery_violations
+
+DELTA = 4
+
+
+class _DelayedEquivocator(ByzantineValidator):
+    """Equivocation revealed exactly at the grade-0 output phase."""
+
+    def __init__(self, vid, key, simulator, network, trace, ga_key, log_a, log_b):
+        super().__init__(vid, key, simulator, network, trace)
+        self._ga_key = ga_key
+        self._log_a = log_a
+        self._log_b = log_b
+
+    def setup(self):
+        self.at(0, self._send_support)
+        self.at(DELTA, self._reveal_equivocation)
+
+    def _send_support(self):
+        # Everyone records us as an A-supporter before the Δ snapshot.
+        self.send_to(
+            LogMessage(ga_key=self._ga_key, log=self._log_a),
+            list(self._network.node_ids),
+            delay=0,
+        )
+
+    def _reveal_equivocation(self):
+        # Arrives exactly at 2Δ: grade-0 participants discard us at the
+        # output phase; V^Δ snapshots are already frozen with our support.
+        self.send_to(
+            LogMessage(ga_key=self._ga_key, log=self._log_b),
+            list(self._network.node_ids),
+            delay=DELTA,
+        )
+
+
+def _run(spec, seed=0):
+    base = chain_of(1)
+    log_a, log_b = fork_of(base, 1), fork_of(base, 2)
+    n, byz_count = 5, 2
+    honest = list(range(n - byz_count))
+    # One honest supporter of A, two of B: A only reaches a majority if the
+    # stale Byzantine support from V^Δ is (incorrectly) still counted.
+    inputs = {0: log_a, 1: log_b, 2: log_b}
+    ga_key = (spec.name, 0)
+
+    def factory(vid, key, simulator, network, trace):
+        return _DelayedEquivocator(
+            vid, key, simulator, network, trace, ga_key, log_a, log_b
+        )
+
+    result = run_standalone_ga(
+        spec,
+        n=n,
+        delta=DELTA,
+        inputs=inputs,
+        corruption=CorruptionPlan.static(frozenset({3, 4})),
+        byzantine_factory=factory,
+        seed=seed,
+    )
+    return result, log_a, [inputs[v] for v in honest]
+
+
+class TestNaiveVariantBreaks:
+    def test_naive_ga2_violates_graded_delivery(self):
+        result, log_a, _inputs = _run(NAIVE_GA2_SPEC)
+        # Some honest validator outputs (A, 1) from its stale snapshot...
+        a_at_grade1 = [
+            vid
+            for vid in result.honest_ids
+            if log_a in (result.outputs[vid][1] or [])
+        ]
+        assert a_at_grade1, "attack failed to produce the stale grade-1 output"
+        # ...but grade-0 participants did not deliver (A, 0).
+        violations = graded_delivery_violations(result.outputs, result.honest_ids, 2)
+        assert violations, "expected a Graded Delivery violation in the naive GA"
+
+    def test_paper_ga2_survives_the_same_attack(self):
+        result, log_a, _inputs = _run(GA2_SPEC)
+        # The intersection removes the exposed equivocators: no stale
+        # grade-1 output, and Graded Delivery holds.
+        for vid in result.honest_ids:
+            assert log_a not in (result.outputs[vid][1] or [])
+        assert graded_delivery_violations(result.outputs, result.honest_ids, 2) == []
+
+    def test_attack_is_within_the_sleepy_model(self):
+        # 2 Byzantine of 5 active satisfies |B| < 1/2 active: the naive
+        # variant fails *inside* the model, not because the adversary
+        # overstepped it.
+        assert 2 < 0.5 * 5

@@ -1,0 +1,98 @@
+"""Integration tests for the SleepController: wake/sleep/corruption execution."""
+
+from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol
+from repro.net.messages import LogMessage
+from repro.sleepy import AwakeSchedule, CorruptionPlan
+
+DELTA = 4
+VIEW = 4 * DELTA
+
+
+class TestWakeSleepExecution:
+    def test_wake_flushes_buffered_messages_before_timers(self):
+        """A validator waking at a decide phase must see messages that
+        arrived while it slept *at* that same tick (CONTROL < TIMER)."""
+
+        config = TobSvdConfig(n=6, num_views=4, delta=DELTA, seed=0)
+        # Sleep through view 1, wake exactly at the view-2 decide phase.
+        wake_at = 2 * VIEW + 2 * DELTA
+        schedule = AwakeSchedule.nap(6, sleeper=0, nap_start=VIEW, nap_end=wake_at)
+        result = TobSvdProtocol(config, schedule=schedule).run()
+        # The sleeper still ends with the full chain: buffered LOG messages
+        # were flushed before any of its later timers ran.
+        final = result.decided_logs()
+        assert final[0] == final[1]
+
+    def test_sleep_wake_control_events_traced(self):
+        config = TobSvdConfig(n=6, num_views=3, delta=DELTA, seed=0)
+        schedule = AwakeSchedule.nap(6, sleeper=2, nap_start=VIEW, nap_end=2 * VIEW)
+        result = TobSvdProtocol(config, schedule=schedule).run()
+        kinds = [(e.kind, e.time) for e in result.trace.control if e.validator == 2]
+        assert ("sleep", VIEW) in kinds
+        assert ("wake", 2 * VIEW) in kinds
+
+    def test_asleep_validator_sends_nothing(self):
+        config = TobSvdConfig(n=6, num_views=4, delta=DELTA, seed=1)
+        schedule = AwakeSchedule.nap(6, sleeper=3, nap_start=VIEW, nap_end=3 * VIEW)
+        result = TobSvdProtocol(config, schedule=schedule).run()
+        asleep_sends = [
+            e
+            for e in result.trace.vote_phases
+            if e.validator == 3 and VIEW <= e.time < 3 * VIEW
+        ] + [
+            p
+            for p in result.trace.proposals
+            if p.proposer == 3 and VIEW <= p.time < 3 * VIEW
+        ]
+        assert asleep_sends == []
+
+
+class TestMidRunCorruption:
+    def test_corrupted_validator_stops_participating(self):
+        config = TobSvdConfig(n=6, num_views=5, delta=DELTA, seed=0)
+        corruption = CorruptionPlan.none().with_corruption(
+            scheduled_at=2 * VIEW, validator=4, delta=DELTA, mildly_adaptive=True
+        )
+        result = TobSvdProtocol(config, corruption=corruption).run()
+        effective = 2 * VIEW + DELTA
+        late_activity = [
+            e
+            for e in result.trace.vote_phases
+            if e.validator == 4 and e.time > effective
+        ]
+        assert late_activity == []
+        assert ("corrupt-effective", effective) in [
+            (e.kind, e.time) for e in result.trace.control if e.validator == 4
+        ]
+
+    def test_minority_mid_run_corruption_preserves_progress(self):
+        config = TobSvdConfig(n=8, num_views=6, delta=DELTA, seed=2)
+        corruption = CorruptionPlan.none()
+        for vid, view in ((5, 1), (6, 2), (7, 3)):
+            corruption = corruption.with_corruption(
+                scheduled_at=view * VIEW, validator=vid, delta=DELTA
+            )
+        result = TobSvdProtocol(config, corruption=corruption).run()
+        # Corrupted validators fall silent; the honest majority keeps
+        # deciding every view (silence cannot stall TOB-SVD).
+        from repro.analysis.metrics import check_safety, count_new_blocks
+
+        assert check_safety(result.trace).safe
+        assert count_new_blocks(result.trace) == 6
+
+    def test_byzantine_validators_ignore_sleep_schedule(self):
+        from repro.adversary.tob_attackers import make_tob_attacker_factory
+
+        config = TobSvdConfig(n=6, num_views=3, delta=DELTA, seed=0)
+        # The schedule claims validator 5 (Byzantine) sleeps — the model
+        # says Byzantine validators are always awake, so it must still act.
+        schedule = AwakeSchedule.nap(6, sleeper=5, nap_start=0, nap_end=2 * VIEW)
+        protocol = TobSvdProtocol(
+            config,
+            schedule=schedule,
+            corruption=CorruptionPlan.static(frozenset({5})),
+            byzantine_factory=make_tob_attacker_factory("equivocating-proposer"),
+        )
+        result = protocol.run()
+        node = protocol.byzantine_nodes[5]
+        assert node.awake  # never put to sleep

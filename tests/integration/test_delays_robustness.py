@@ -1,0 +1,72 @@
+"""Robustness to delivery scheduling: the protocol's guarantees must hold
+for *any* delays within the Delta bound, not just the worst-case uniform
+schedule the other tests use."""
+
+import random
+
+import pytest
+
+from repro.analysis.metrics import check_safety, count_new_blocks
+from repro.chain.transactions import TransactionPool
+from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol
+from repro.harness import equivocating_scenario
+from repro.net.delays import AdversarialDelay, EagerDelay, RandomDelay, UniformDelay
+
+DELTA = 4
+
+
+class TestDelayPolicies:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_delays_stable_run(self, seed):
+        config = TobSvdConfig(n=8, num_views=5, delta=DELTA, seed=seed)
+        policy = RandomDelay(DELTA, random.Random(seed), min_ticks=1)
+        result = TobSvdProtocol(config, delay_policy=policy).run()
+        assert check_safety(result.trace).safe
+        assert count_new_blocks(result.trace) == 5
+
+    def test_eager_delays_stable_run(self):
+        config = TobSvdConfig(n=8, num_views=5, delta=DELTA, seed=0)
+        result = TobSvdProtocol(config, delay_policy=EagerDelay(DELTA)).run()
+        assert check_safety(result.trace).safe
+        assert count_new_blocks(result.trace) == 5
+
+    def test_decision_times_identical_across_policies(self):
+        """Latency in Δ units is delay-schedule independent: deadlines are
+        clock-driven, so faster delivery does not accelerate decisions."""
+
+        times = {}
+        for name, policy in (
+            ("uniform", UniformDelay(DELTA)),
+            ("eager", EagerDelay(DELTA)),
+        ):
+            config = TobSvdConfig(n=6, num_views=4, delta=DELTA, seed=0)
+            result = TobSvdProtocol(config, delay_policy=policy).run()
+            times[name] = sorted({e.time for e in result.trace.decisions})
+        assert times["uniform"] == times["eager"]
+
+    def test_adversarial_link_slowdown_within_bound(self):
+        """Slowing every link from one honest validator to the bound changes
+        nothing: the protocol already tolerates Delta on every link."""
+
+        config = TobSvdConfig(n=8, num_views=5, delta=DELTA, seed=1)
+        policy = AdversarialDelay(DELTA, EagerDelay(DELTA))
+        policy.delay_sender(0, ticks=DELTA)
+        result = TobSvdProtocol(config, delay_policy=policy).run()
+        assert check_safety(result.trace).safe
+        assert count_new_blocks(result.trace) == 5
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_delays_with_byzantine_adversary(self, seed):
+        pool = TransactionPool()
+        protocol = equivocating_scenario(
+            n=10, f=4, num_views=10, delta=DELTA, seed=seed, pool=pool
+        )
+        protocol.network.set_delay_policy(
+            RandomDelay(DELTA, random.Random(100 + seed), min_ticks=1)
+        )
+        txs = [pool.submit(payload=f"r{i}", at_time=i * 8 + 1) for i in range(4)]
+        result = protocol.run()
+        assert check_safety(result.trace).safe
+        from repro.analysis.metrics import all_confirmed
+
+        assert all_confirmed(result.trace, txs)

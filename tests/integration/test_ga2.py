@@ -1,0 +1,186 @@
+"""Integration tests for the k=2 Graded Agreement (paper Figure 1, Theorem 1)."""
+
+import pytest
+
+from repro.adversary import make_ga_attacker_factory
+from repro.chain.log import Log
+from repro.core import GA2_SPEC, run_standalone_ga
+from repro.sleepy import AwakeSchedule, CorruptionPlan
+from tests.conftest import chain_of, fork_of
+from tests.integration.ga_properties import (
+    all_violations,
+    graded_delivery_violations,
+    validity_violations,
+)
+
+DELTA = 4
+
+
+class TestStableValidity:
+    def test_unanimous_input_output_at_both_grades(self):
+        base = chain_of(2)
+        result = run_standalone_ga(
+            GA2_SPEC, n=5, delta=DELTA, inputs={i: base for i in range(5)}
+        )
+        for vid in range(5):
+            assert base in result.outputs[vid][0]
+            assert base in result.outputs[vid][1]
+
+    def test_different_extensions_agree_on_common_prefix(self):
+        base = chain_of(1)
+        inputs = {i: fork_of(base, i) for i in range(5)}  # all extend base
+        result = run_standalone_ga(GA2_SPEC, n=5, delta=DELTA, inputs=inputs)
+        assert validity_violations(result.outputs, result.honest_ids, 2, base) == []
+
+    def test_own_extension_does_not_reach_quorum(self):
+        base = chain_of(1)
+        inputs = {i: fork_of(base, i) for i in range(5)}
+        result = run_standalone_ga(GA2_SPEC, n=5, delta=DELTA, inputs=inputs)
+        # Each fork has exactly one supporter: never a majority of 5.
+        for vid in range(5):
+            assert result.outputs[vid][0][-1] == base
+            assert result.outputs[vid][1][-1] == base
+
+
+class TestParticipationConditions:
+    def test_validator_asleep_at_delta_skips_grade_1(self):
+        base = chain_of(1)
+        # Validator 0 naps exactly over the Delta mark.
+        schedule = AwakeSchedule.nap(5, sleeper=0, nap_start=DELTA, nap_end=2 * DELTA)
+        result = run_standalone_ga(
+            GA2_SPEC, n=5, delta=DELTA, inputs={i: base for i in range(5)},
+            schedule=schedule,
+        )
+        assert result.outputs[0][1] is None  # no V^Delta snapshot -> no grade 1
+        assert result.outputs[0][0] is not None  # awake at 2Delta -> grade 0 runs
+
+    def test_validator_asleep_at_output_time_skips_phase(self):
+        base = chain_of(1)
+        schedule = AwakeSchedule.nap(5, sleeper=1, nap_start=2 * DELTA, nap_end=3 * DELTA)
+        result = run_standalone_ga(
+            GA2_SPEC, n=5, delta=DELTA, inputs={i: base for i in range(5)},
+            schedule=schedule,
+        )
+        assert result.outputs[1][0] is None  # asleep at 2Delta
+        assert result.outputs[1][1] is not None  # back awake at 3Delta, has V^Delta
+
+    def test_sleeper_messages_buffered_until_wake(self):
+        base = chain_of(1)
+        # Validator 2 sleeps through the whole input exchange, wakes at 2Delta.
+        schedule = AwakeSchedule.nap(5, sleeper=2, nap_start=1, nap_end=2 * DELTA)
+        result = run_standalone_ga(
+            GA2_SPEC, n=5, delta=DELTA, inputs={i: base for i in range(5)},
+            schedule=schedule,
+        )
+        # Buffered LOG messages are flushed on wake, so grade 0 still sees
+        # the unanimous majority.
+        assert base in result.outputs[2][0]
+
+    def test_fully_asleep_validator_outputs_nothing(self):
+        base = chain_of(1)
+        schedule = AwakeSchedule.from_intervals(5, {3: []})
+        result = run_standalone_ga(
+            GA2_SPEC, n=5, delta=DELTA, inputs={i: base for i in range(5)},
+            schedule=schedule,
+        )
+        assert result.outputs[3][0] is None
+        assert result.outputs[3][1] is None
+
+
+class TestAdversarial:
+    def _run_with_equivocator(self, n=7, byz_count=3, seed=0):
+        base = chain_of(1)
+        log_a, log_b = fork_of(base, 1), fork_of(base, 2)
+        honest = list(range(n - byz_count))
+        inputs = {vid: log_a if vid % 2 == 0 else log_b for vid in honest}
+        factory = make_ga_attacker_factory(
+            "split",
+            ga_key=(GA2_SPEC.name, 0),
+            log_a=log_a,
+            log_b=log_b,
+            group_a=honest[0::2],
+            group_b=honest[1::2],
+        )
+        result = run_standalone_ga(
+            GA2_SPEC,
+            n=n,
+            delta=DELTA,
+            inputs=inputs,
+            corruption=CorruptionPlan.static(frozenset(range(n - byz_count, n))),
+            byzantine_factory=factory,
+            seed=seed,
+        )
+        return result, [inputs[v] for v in honest], base
+
+    def test_all_properties_under_split_equivocation(self):
+        result, honest_inputs, _base = self._run_with_equivocator()
+        violations = all_violations(result.outputs, result.honest_ids, 2, honest_inputs)
+        assert violations == []
+
+    def test_common_prefix_still_delivered(self):
+        result, _inputs, base = self._run_with_equivocator()
+        # All honest inputs extend `base`; Validity still applies to it.
+        assert validity_violations(result.outputs, result.honest_ids, 2, base) == []
+
+    def test_simple_equivocator_is_discarded_everywhere(self):
+        base = chain_of(1)
+        log_a, log_b = fork_of(base, 1), fork_of(base, 2)
+        factory = make_ga_attacker_factory(
+            "equivocator", ga_key=(GA2_SPEC.name, 0), log_a=log_a, log_b=log_b
+        )
+        result = run_standalone_ga(
+            GA2_SPEC,
+            n=5,
+            delta=DELTA,
+            inputs={i: base for i in range(4)},
+            corruption=CorruptionPlan.static(frozenset({4})),
+            byzantine_factory=factory,
+        )
+        # The equivocator inflates |S| to 5 but supports nothing: the 4
+        # honest inputs still carry `base` past the 2.5 quorum.
+        for vid in range(4):
+            assert base in result.outputs[vid][0]
+            assert base in result.outputs[vid][1]
+
+    def test_silent_byzantines_reduce_but_do_not_break_quorum(self):
+        base = chain_of(1)
+        factory = make_ga_attacker_factory("silent", ga_key=(GA2_SPEC.name, 0))
+        result = run_standalone_ga(
+            GA2_SPEC,
+            n=7,
+            delta=DELTA,
+            inputs={i: base for i in range(4)},
+            corruption=CorruptionPlan.static(frozenset({4, 5, 6})),
+            byzantine_factory=factory,
+        )
+        # Silent validators never enter S, so the honest majority is 4/4.
+        for vid in range(4):
+            assert base in result.outputs[vid][1]
+
+
+class TestIntegrity:
+    def test_byzantine_only_log_never_output(self):
+        base = chain_of(1)
+        honest_log = fork_of(base, 1)
+        byz_log = fork_of(base, 2)
+        factory = make_ga_attacker_factory(
+            "equivocator", ga_key=(GA2_SPEC.name, 0), log_a=byz_log, log_b=byz_log
+        )
+        # Two equal logs means the "equivocator" is really just a sender of
+        # byz_log; no honest validator inputs an extension of byz_log.
+        result = run_standalone_ga(
+            GA2_SPEC,
+            n=5,
+            delta=DELTA,
+            inputs={i: honest_log for i in range(4)},
+            corruption=CorruptionPlan.static(frozenset({4})),
+            byzantine_factory=factory,
+        )
+        for vid in range(4):
+            for grade in (0, 1):
+                for log in result.outputs[vid][grade] or []:
+                    assert not byz_log.is_extension_of(log) or log in (
+                        base,
+                        Log.genesis(),
+                    )
+                    assert log != byz_log

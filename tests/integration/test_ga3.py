@@ -1,0 +1,140 @@
+"""Integration tests for the k=3 Graded Agreement (paper Figure 2, Theorem 2)."""
+
+from repro.adversary import make_ga_attacker_factory
+from repro.core import GA3_SPEC, run_standalone_ga
+from repro.sleepy import AwakeSchedule, CorruptionPlan
+from tests.conftest import chain_of, fork_of
+from tests.integration.ga_properties import all_violations, validity_violations
+
+DELTA = 4
+
+
+class TestStable:
+    def test_unanimous_input_reaches_grade_2(self):
+        base = chain_of(2)
+        result = run_standalone_ga(
+            GA3_SPEC, n=5, delta=DELTA, inputs={i: base for i in range(5)}
+        )
+        for vid in range(5):
+            for grade in (0, 1, 2):
+                assert base in result.outputs[vid][grade]
+
+    def test_mixed_extensions_deliver_common_prefix(self):
+        base = chain_of(1)
+        inputs = {i: fork_of(base, i) for i in range(6)}
+        result = run_standalone_ga(GA3_SPEC, n=6, delta=DELTA, inputs=inputs)
+        assert validity_violations(result.outputs, result.honest_ids, 3, base) == []
+
+
+class TestParticipation:
+    def test_grade_2_requires_awake_at_delta(self):
+        base = chain_of(1)
+        schedule = AwakeSchedule.nap(5, sleeper=0, nap_start=DELTA, nap_end=2 * DELTA)
+        result = run_standalone_ga(
+            GA3_SPEC, n=5, delta=DELTA, inputs={i: base for i in range(5)},
+            schedule=schedule,
+        )
+        assert result.outputs[0][2] is None  # missed V^Delta
+        assert result.outputs[0][1] is not None  # V^2Delta taken after waking
+        assert result.outputs[0][0] is not None
+
+    def test_grade_1_requires_awake_at_2delta(self):
+        base = chain_of(1)
+        schedule = AwakeSchedule.nap(5, sleeper=1, nap_start=2 * DELTA, nap_end=3 * DELTA)
+        result = run_standalone_ga(
+            GA3_SPEC, n=5, delta=DELTA, inputs={i: base for i in range(5)},
+            schedule=schedule,
+        )
+        assert result.outputs[1][1] is None  # missed V^2Delta
+        assert result.outputs[1][2] is not None  # had V^Delta, awake at 5Delta
+        assert result.outputs[1][0] is not None
+
+    def test_grade_0_requires_only_being_awake_now(self):
+        base = chain_of(1)
+        # Asleep for everything except the grade-0 phase at 3Delta.
+        schedule = AwakeSchedule.from_intervals(5, {2: [(3 * DELTA, None)]})
+        result = run_standalone_ga(
+            GA3_SPEC, n=5, delta=DELTA, inputs={i: base for i in range(5) if i != 2},
+            schedule=schedule,
+        )
+        assert result.outputs[2][0] is not None
+        assert base in result.outputs[2][0]  # buffered messages flushed on wake
+        assert result.outputs[2][1] is None
+        assert result.outputs[2][2] is None
+
+
+class TestAdversarial:
+    def _run(self, n=9, byz=4, seed=0):
+        base = chain_of(1)
+        log_a, log_b = fork_of(base, 1), fork_of(base, 2)
+        honest = list(range(n - byz))
+        inputs = {vid: log_a if vid % 2 == 0 else log_b for vid in honest}
+        factory = make_ga_attacker_factory(
+            "split",
+            ga_key=(GA3_SPEC.name, 0),
+            log_a=log_a,
+            log_b=log_b,
+            group_a=honest[0::2],
+            group_b=honest[1::2],
+        )
+        result = run_standalone_ga(
+            GA3_SPEC,
+            n=n,
+            delta=DELTA,
+            inputs=inputs,
+            corruption=CorruptionPlan.static(frozenset(range(n - byz, n))),
+            byzantine_factory=factory,
+            seed=seed,
+        )
+        return result, [inputs[v] for v in honest]
+
+    def test_all_properties_under_split_equivocation(self):
+        result, honest_inputs = self._run()
+        assert all_violations(result.outputs, result.honest_ids, 3, honest_inputs) == []
+
+    def test_properties_across_seeds(self):
+        for seed in range(5):
+            result, honest_inputs = self._run(seed=seed)
+            violations = all_violations(
+                result.outputs, result.honest_ids, 3, honest_inputs
+            )
+            assert violations == [], f"seed {seed}: {violations}"
+
+
+class TestNestedTimeShift:
+    def test_grade2_support_never_exceeds_grade1_support(self):
+        """The inclusion V^Δ∩V^5Δ ⊆ V^2Δ∩V^4Δ ⊆ V^3Δ (Section 5.2).
+
+        We verify the observable consequence on a run with late-arriving
+        equivocations: output sets shrink (or stay equal) as the grade
+        increases at every single validator.
+        """
+
+        base = chain_of(1)
+        log_a, log_b = fork_of(base, 1), fork_of(base, 2)
+        honest = list(range(5))
+        inputs = {vid: log_a if vid < 3 else log_b for vid in honest}
+        factory = make_ga_attacker_factory(
+            "split",
+            ga_key=(GA3_SPEC.name, 0),
+            log_a=log_a,
+            log_b=log_b,
+            group_a=honest[:2],
+            group_b=honest[2:],
+        )
+        result = run_standalone_ga(
+            GA3_SPEC,
+            n=7,
+            delta=DELTA,
+            inputs=inputs,
+            corruption=CorruptionPlan.static(frozenset({5, 6})),
+            byzantine_factory=factory,
+        )
+        for vid in honest:
+            grade0 = set(result.outputs[vid][0] or [])
+            grade1 = set(result.outputs[vid][1] or [])
+            grade2 = set(result.outputs[vid][2] or [])
+            if result.outputs[vid][1] is not None:
+                assert grade1 <= grade0
+            if result.outputs[vid][2] is not None and result.outputs[vid][1] is not None:
+                assert grade2 <= grade1

@@ -1,0 +1,94 @@
+"""Randomized adversarial sweeps: GA properties over many seeds/configs.
+
+Theorems 1 and 2 quantify over *all* executions; we approximate with
+randomized ones: random honest input assignments, random adversary mix
+(silent / equivocating / split), random sleep schedules that respect the
+participation model, across seeds.  Every execution must satisfy
+Consistency, Graded Delivery, Integrity and Uniqueness.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import make_ga_attacker_factory
+from repro.core import GA2_SPEC, GA3_SPEC, run_standalone_ga
+from repro.sleepy import AwakeSchedule, CorruptionPlan
+from repro.sleepy.compliance import check_compliance
+from repro.sleepy.participation import ParticipationModel
+from tests.conftest import chain_of, fork_of
+from tests.integration.ga_properties import all_violations
+
+DELTA = 4
+
+
+def _random_run(spec, seed: int):
+    rng = random.Random(seed)
+    n = rng.randint(5, 12)
+    max_byz = (n - 1) // 2
+    byz_count = rng.randint(0, max_byz)
+    byzantine = frozenset(range(n - byz_count, n))
+    honest = [v for v in range(n) if v not in byzantine]
+
+    base = chain_of(rng.randint(1, 3), tag=seed)
+    forks = [fork_of(base, tag) for tag in range(3)]
+    inputs = {vid: rng.choice(forks) for vid in honest}
+
+    # A random honest validator may nap over one protocol phase, as long as
+    # the model stays compliant.
+    schedule = AwakeSchedule.always_awake(n)
+    if rng.random() < 0.5 and len(honest) - 1 > 2 * byz_count:
+        sleeper = rng.choice(honest)
+        phase = rng.randint(1, spec.duration_deltas - 1)
+        schedule = AwakeSchedule.nap(
+            n, sleeper=sleeper, nap_start=phase * DELTA, nap_end=(phase + 1) * DELTA
+        )
+
+    kind = rng.choice(["silent", "equivocator", "split"]) if byz_count else "silent"
+    factory = make_ga_attacker_factory(
+        kind,
+        ga_key=(spec.name, 0),
+        log_a=forks[0],
+        log_b=forks[1],
+        group_a=honest[0::2],
+        group_b=honest[1::2],
+    )
+
+    corruption = CorruptionPlan.static(byzantine)
+    model = ParticipationModel(schedule=schedule, corruption=corruption)
+    t_b = spec.duration_deltas * DELTA
+    report = check_compliance(model, t_b=t_b, t_s=0, rho=0.5, horizon=t_b)
+    if not report.compliant:
+        return None  # adversary left the model; skip this draw
+
+    result = run_standalone_ga(
+        spec,
+        n=n,
+        delta=DELTA,
+        inputs=inputs,
+        schedule=schedule,
+        corruption=corruption,
+        byzantine_factory=factory,
+        seed=seed,
+    )
+    return result, [inputs[v] for v in honest]
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_ga2_properties_random(seed):
+    run = _random_run(GA2_SPEC, seed)
+    if run is None:
+        pytest.skip("non-compliant draw")
+    result, honest_inputs = run
+    violations = all_violations(result.outputs, result.honest_ids, 2, honest_inputs)
+    assert violations == [], f"seed {seed}: {violations}"
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_ga3_properties_random(seed):
+    run = _random_run(GA3_SPEC, seed + 1000)
+    if run is None:
+        pytest.skip("non-compliant draw")
+    result, honest_inputs = run
+    violations = all_violations(result.outputs, result.honest_ids, 3, honest_inputs)
+    assert violations == [], f"seed {seed}: {violations}"

@@ -1,0 +1,94 @@
+"""Integration tests for the harness: scenarios and measurement runners."""
+
+import math
+
+import pytest
+
+from repro.baselines.structure import structure_for
+from repro.harness import (
+    churn_scenario,
+    equivocating_scenario,
+    measure_best_case_latency,
+    measure_expected_latency,
+    measure_voting_phases,
+    stable_scenario,
+)
+from repro.harness.runner import (
+    measure_structural_message_scaling,
+    measure_structural_protocol,
+    measure_tobsvd_message_scaling,
+)
+
+
+class TestScenarioBuilders:
+    def test_stable_defaults(self):
+        protocol = stable_scenario(n=6, num_views=3)
+        assert protocol.config.n == 6
+        assert not protocol.byzantine_nodes
+
+    def test_equivocating_scenario_assigns_top_ids(self):
+        protocol = equivocating_scenario(n=10, f=3, num_views=3)
+        assert set(protocol.byzantine_nodes) == {7, 8, 9}
+        assert set(protocol.validators) == set(range(7))
+
+    def test_equivocating_scenario_rejects_invalid_f(self):
+        with pytest.raises(ValueError):
+            equivocating_scenario(n=6, f=3, num_views=2)
+
+    def test_unknown_attacker_rejected(self):
+        with pytest.raises(ValueError):
+            equivocating_scenario(n=6, f=2, num_views=2, attacker="nonsense")
+
+    def test_churn_scenario_builds_compliant_schedule(self):
+        protocol = churn_scenario(n=12, num_views=4, seed=0)
+        # At least one validator actually churns (has a bounded interval).
+        churning = [
+            vid
+            for vid in range(12)
+            if any(iv.end is not None for iv in protocol.schedule.intervals_for(vid))
+        ]
+        assert churning
+
+
+class TestRunners:
+    def test_best_case_is_six_deltas_for_any_config(self):
+        for n, delta, seed in ((6, 2, 0), (8, 4, 1), (12, 3, 2)):
+            measurement = measure_best_case_latency(n=n, delta=delta, seed=seed)
+            assert measurement.mean_deltas == pytest.approx(6.0), (n, delta, seed)
+            assert measurement.unconfirmed == 0
+
+    def test_expected_latency_consistent_with_failure_rate(self):
+        measurement = measure_expected_latency(
+            n=10, f=4, num_views=20, delta=2, seeds=(0, 1)
+        )
+        q = measurement.view_failure_rate
+        assert 0.0 < q < 0.5
+        predicted = 6.0 + 4.0 * q / (1.0 - q)
+        assert measurement.mean_deltas == pytest.approx(predicted, abs=1.0)
+
+    def test_voting_phases_best_case(self):
+        assert measure_voting_phases(n=8, f=0, num_views=8, delta=2) == pytest.approx(1.0)
+
+    def test_voting_phases_increase_under_attack(self):
+        best = measure_voting_phases(n=10, f=0, num_views=12, delta=2)
+        adversarial = measure_voting_phases(n=10, f=4, num_views=12, delta=2)
+        assert adversarial > best
+
+    def test_message_scaling_monotone(self):
+        points = measure_tobsvd_message_scaling(ns=(4, 6, 8), num_views=2, delta=2)
+        counts = [count for _n, count in points]
+        assert counts == sorted(counts)
+
+    def test_structural_measurement_matches_structure(self):
+        row = measure_structural_protocol("gl", n=8, f=3, num_views_adversarial=8)
+        structure = structure_for("gl")
+        assert row.best_case_deltas == structure.best_case_latency_deltas
+        assert row.phases_best == structure.phases_success_view
+        assert not math.isnan(row.expected_deltas)
+
+    def test_structural_scaling_flat_protocol_quadratic(self):
+        points = measure_structural_message_scaling("mmr14", ns=(4, 8), num_views=2)
+        (n1, c1), (n2, c2) = points
+        ratio = c2 / c1
+        # Doubling n should roughly 4x a quadratic protocol (not 8x).
+        assert 2.5 < ratio < 6.5

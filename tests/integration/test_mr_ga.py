@@ -1,0 +1,152 @@
+"""Integration tests for the Momose-Ren GA baseline (paper Section 4).
+
+Besides the positive properties, these tests demonstrate the deficiency
+the paper highlights: MR's grade-0 outputs can violate Uniqueness because
+``X`` counts equivocating supporters — the exact weakness the GA-2
+protocol of Figure 1 repairs.
+"""
+
+from repro.adversary.base import ByzantineValidator
+from repro.baselines import run_mr_ga
+from repro.chain.log import Log
+from repro.net.messages import LogMessage, VoteMessage
+from repro.sleepy import AwakeSchedule, CorruptionPlan
+from tests.conftest import chain_of, fork_of
+
+DELTA = 4
+GA_KEY = ("mr-ga", 0)
+
+
+class TestStable:
+    def test_unanimous_input_delivers_both_grades(self):
+        base = chain_of(2)
+        result = run_mr_ga(n=5, delta=DELTA, inputs={i: base for i in range(5)})
+        for vid in range(5):
+            assert base in result.outputs[vid][0]
+            assert base in result.outputs[vid][1]
+
+    def test_votes_are_cast_for_majority_logs(self):
+        base = chain_of(1)
+        result = run_mr_ga(n=4, delta=DELTA, inputs={i: base for i in range(4)})
+        vote_events = [e for e in result.trace.vote_phases if e.phase_label == "vote"]
+        assert vote_events, "no VOTE phase observed"
+        assert all(e.time == 2 * DELTA for e in vote_events)
+
+    def test_split_inputs_deliver_only_common_prefix(self):
+        base = chain_of(1)
+        inputs = {i: fork_of(base, i % 2) for i in range(6)}
+        result = run_mr_ga(n=6, delta=DELTA, inputs=inputs)
+        for vid in range(6):
+            assert result.outputs[vid][1][-1] == base  # 3/3 split, no fork wins
+
+
+class TestParticipation:
+    def test_grade1_needs_awake_at_delta(self):
+        base = chain_of(1)
+        schedule = AwakeSchedule.nap(5, sleeper=0, nap_start=DELTA, nap_end=2 * DELTA)
+        result = run_mr_ga(
+            n=5, delta=DELTA, inputs={i: base for i in range(5)}, schedule=schedule
+        )
+        assert result.outputs[0][1] is None
+        assert result.outputs[0][0] is not None
+
+
+class _GradeZeroUniquenessAttacker(ByzantineValidator):
+    """Equivocates in LOG *and* votes for both forks.
+
+    With enough such validators, honest validators see majorities in ``X``
+    for two conflicting logs (equivocators count for both sides), vote for
+    both, and then count majorities of vote *senders* for both — breaking
+    Uniqueness at grade 0.
+    """
+
+    def __init__(self, vid, key, simulator, network, trace, log_a, log_b):
+        super().__init__(vid, key, simulator, network, trace)
+        self._log_a = log_a
+        self._log_b = log_b
+
+    def setup(self):
+        self.at(0, self._input)
+        self.at(2 * DELTA, self._vote)
+
+    def _input(self):
+        self.broadcast(LogMessage(ga_key=GA_KEY, log=self._log_a))
+        self.broadcast(LogMessage(ga_key=GA_KEY, log=self._log_b))
+
+    def _vote(self):
+        self.broadcast(VoteMessage(ga_key=GA_KEY, log=self._log_a))
+        self.broadcast(VoteMessage(ga_key=GA_KEY, log=self._log_b))
+
+
+class TestGradeZeroUniquenessFailure:
+    """MR's documented deficiency, reproduced as an executable fact."""
+
+    def _run(self):
+        base = chain_of(1)
+        log_a, log_b = fork_of(base, 1), fork_of(base, 2)
+        n, byz_count = 7, 3
+        honest = list(range(n - byz_count))
+        # Honest validators split their inputs across the two forks.
+        inputs = {vid: log_a if vid % 2 == 0 else log_b for vid in honest}
+
+        def factory(vid, key, simulator, network, trace):
+            return _GradeZeroUniquenessAttacker(
+                vid, key, simulator, network, trace, log_a, log_b
+            )
+
+        result = run_mr_ga(
+            n=n,
+            delta=DELTA,
+            inputs=inputs,
+            corruption=CorruptionPlan.static(frozenset(range(n - byz_count, n))),
+            byzantine_factory=factory,
+        )
+        return result, log_a, log_b
+
+    def test_grade0_uniqueness_violated(self):
+        result, log_a, log_b = self._run()
+        # At least one honest validator outputs both conflicting forks at
+        # grade 0: X-majorities held for both (equivocators count twice),
+        # so every honest validator voted for both, so vote-sender
+        # majorities held for both.
+        violated = any(
+            log_a in (result.outputs[vid][0] or [])
+            and log_b in (result.outputs[vid][0] or [])
+            for vid in result.honest_ids
+        )
+        assert violated, "expected MR grade-0 Uniqueness to break under this attack"
+
+    def test_grade1_consistency_survives_the_same_attack(self):
+        result, log_a, log_b = self._run()
+        # Grade 1 uses V (equivocations removed): no validator outputs
+        # conflicting logs there, matching MR's Consistency claim.
+        for vid in result.honest_ids:
+            grade1 = result.outputs[vid][1] or []
+            assert not (log_a in grade1 and log_b in grade1)
+
+    def test_ga2_fixes_the_same_attack(self):
+        """The paper's GA-2 under the *same* adversary keeps Uniqueness."""
+
+        from repro.adversary import make_ga_attacker_factory
+        from repro.core import GA2_SPEC, run_standalone_ga
+
+        base = chain_of(1)
+        log_a, log_b = fork_of(base, 1), fork_of(base, 2)
+        n, byz_count = 7, 3
+        honest = list(range(n - byz_count))
+        inputs = {vid: log_a if vid % 2 == 0 else log_b for vid in honest}
+        factory = make_ga_attacker_factory(
+            "equivocator", ga_key=(GA2_SPEC.name, 0), log_a=log_a, log_b=log_b
+        )
+        result = run_standalone_ga(
+            GA2_SPEC,
+            n=n,
+            delta=DELTA,
+            inputs=inputs,
+            corruption=CorruptionPlan.static(frozenset(range(n - byz_count, n))),
+            byzantine_factory=factory,
+        )
+        for vid in result.honest_ids:
+            for grade in (0, 1):
+                outs = result.outputs[vid][grade] or []
+                assert not (log_a in outs and log_b in outs)

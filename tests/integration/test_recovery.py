@@ -1,0 +1,126 @@
+"""Tests for the Section-2 RECOVERY protocol extension.
+
+The practical model: asleep validators *lose* traffic
+(``buffer_while_asleep=False``).  Without recovery, a waking validator's
+``V`` sets for in-flight GA instances stay empty; with RECOVERY, peers
+re-send their archives and the validator re-enters the protocol one view
+earlier.
+"""
+
+import pytest
+
+from repro.analysis.metrics import check_safety, count_new_blocks
+from repro.core.recovery import (
+    RecoveringTobSvdValidator,
+    build_lossy_protocol_without_recovery,
+    build_recovery_protocol,
+)
+from repro.core.tobsvd import TobSvdConfig
+from repro.net.delays import EagerDelay
+from repro.sleepy import AwakeSchedule
+
+DELTA = 4
+VIEW = 4 * DELTA
+
+
+def _joiner_schedule(n: int, joiner: int, join_view: int) -> AwakeSchedule:
+    # Wake just after the view's vote deliveries: with eager delays the
+    # GA_{join_view} inputs landed (and were lost) one tick earlier.
+    return AwakeSchedule.late_joiner(n, joiner=joiner, join_time=join_view * VIEW + 2 * DELTA)
+
+
+class TestLossyNetwork:
+    def test_lossy_sleep_drops_messages(self):
+        config = TobSvdConfig(n=6, num_views=4, delta=DELTA, seed=0)
+        schedule = _joiner_schedule(6, joiner=5, join_view=1)
+        protocol = build_lossy_protocol_without_recovery(config, schedule=schedule)
+        result = protocol.run()
+        assert result.network.dropped_while_asleep > 0
+        assert check_safety(result.trace).safe
+
+    def test_buffered_mode_drops_nothing(self):
+        from repro.core.tobsvd import TobSvdProtocol
+
+        config = TobSvdConfig(n=6, num_views=4, delta=DELTA, seed=0)
+        schedule = _joiner_schedule(6, joiner=5, join_view=1)
+        protocol = TobSvdProtocol(config, schedule=schedule)
+        result = protocol.run()
+        assert result.network.dropped_while_asleep == 0
+
+
+class TestRecoveryProtocol:
+    def _run_pair(self, join_view=2, seed=0):
+        """The same lossy scenario with and without RECOVERY."""
+
+        results = {}
+        for recovery in (True, False):
+            config = TobSvdConfig(n=8, num_views=6, delta=DELTA, seed=seed)
+            schedule = _joiner_schedule(8, joiner=7, join_view=join_view)
+            build = build_recovery_protocol if recovery else build_lossy_protocol_without_recovery
+            protocol = build(config, schedule=schedule)
+            protocol.network.set_delay_policy(EagerDelay(DELTA))
+            results[recovery] = protocol.run()
+        return results
+
+    def test_recovery_restores_participation_one_view_earlier(self):
+        results = self._run_pair(join_view=2)
+        join_time = 2 * VIEW + 2 * DELTA
+        # Without recovery: the joiner's GA_2 state is empty, so it cannot
+        # compute a view-3 candidate and does not propose in view 3.
+        proposals_without = {
+            p.view for p in results[False].trace.proposals if p.proposer == 7
+        }
+        assert 3 not in proposals_without
+        # With recovery: peers re-sent the GA_2 messages; the joiner has a
+        # grade-0 candidate at t_3 and proposes.
+        proposals_with = {
+            p.view for p in results[True].trace.proposals if p.proposer == 7
+        }
+        assert 3 in proposals_with
+        assert join_time < 3 * VIEW  # sanity: the join precedes view 3
+
+    def test_recovery_request_and_responses_happen(self):
+        results = self._run_pair(join_view=2)
+        result = results[True]
+        joiner = result.validators[7]
+        assert isinstance(joiner, RecoveringTobSvdValidator)
+        assert joiner.recoveries_requested == 1
+        served = sum(
+            v.recoveries_served
+            for vid, v in result.validators.items()
+            if vid != 7
+        )
+        assert served == 7  # every awake peer answered
+
+    def test_both_arms_safe_and_live(self):
+        results = self._run_pair(join_view=2)
+        for result in results.values():
+            assert check_safety(result.trace).safe
+            assert count_new_blocks(result.trace) == 6
+
+    def test_joiner_converges_to_the_common_log(self):
+        results = self._run_pair(join_view=2)
+        for result in results.values():
+            final = result.decided_logs()
+            assert final[7] == final[0]
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_recovery_across_seeds(self, seed):
+        results = self._run_pair(join_view=2, seed=seed)
+        assert check_safety(results[True].trace).safe
+        assert count_new_blocks(results[True].trace) == 6
+
+
+class TestArchivePruning:
+    def test_archive_window_is_bounded(self):
+        config = TobSvdConfig(n=6, num_views=8, delta=DELTA, seed=0)
+        protocol = build_recovery_protocol(config)
+        result = protocol.run()
+        for validator in result.validators.values():
+            assert isinstance(validator, RecoveringTobSvdValidator)
+            views = {
+                validator._envelope_view(envelope)
+                for envelope in validator._archive.values()
+            }
+            # Only the sliding window of recent views is retained.
+            assert all(view is None or view >= 8 - 4 for view in views)

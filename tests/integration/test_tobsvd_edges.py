@@ -1,0 +1,75 @@
+"""Edge-case TOB-SVD configurations."""
+
+import pytest
+
+from repro.analysis.metrics import check_safety, count_new_blocks
+from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol
+from repro.baselines.structural_tob import StructuralConfig
+
+
+class TestDegenerateConfigurations:
+    def test_single_validator(self):
+        """n=1: the validator is its own quorum and decides every view."""
+
+        config = TobSvdConfig(n=1, num_views=3, delta=2, seed=0)
+        result = TobSvdProtocol(config).run()
+        assert check_safety(result.trace).safe
+        assert count_new_blocks(result.trace) == 3
+
+    def test_two_validators(self):
+        """n=2: quorums need both validators (2 > 2/2)."""
+
+        config = TobSvdConfig(n=2, num_views=3, delta=2, seed=0)
+        result = TobSvdProtocol(config).run()
+        assert count_new_blocks(result.trace) == 3
+
+    def test_single_view(self):
+        config = TobSvdConfig(n=4, num_views=1, delta=2, seed=0)
+        result = TobSvdProtocol(config).run()
+        # The single proposal decides during the wrap-up view.
+        assert count_new_blocks(result.trace) == 1
+
+    def test_delta_one_tick(self):
+        """The smallest possible Delta still runs correctly."""
+
+        config = TobSvdConfig(n=5, num_views=4, delta=1, seed=0)
+        result = TobSvdProtocol(config).run()
+        assert check_safety(result.trace).safe
+        assert count_new_blocks(result.trace) == 4
+
+    def test_large_delta(self):
+        config = TobSvdConfig(n=5, num_views=2, delta=25, seed=0)
+        result = TobSvdProtocol(config).run()
+        assert count_new_blocks(result.trace) == 2
+        times = sorted({e.time for e in result.trace.decisions})
+        # Decisions still land exactly at t_v + 2 delta.
+        assert times == [50, 150, 250]
+
+    def test_many_validators_smoke(self):
+        """A larger committee (n=32) still decides every view."""
+
+        config = TobSvdConfig(n=32, num_views=2, delta=2, seed=0)
+        result = TobSvdProtocol(config).run()
+        assert count_new_blocks(result.trace) == 2
+        assert check_safety(result.trace).safe
+
+
+class TestStructuralConfigValidation:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            StructuralConfig(n=0, num_views=1)
+        with pytest.raises(ValueError):
+            StructuralConfig(n=1, num_views=0)
+        with pytest.raises(ValueError):
+            StructuralConfig(n=1, num_views=1, delta=0)
+
+
+class TestEmptyPool:
+    def test_empty_blocks_still_decided(self):
+        """With no transactions, views decide empty blocks (chain heartbeat)."""
+
+        config = TobSvdConfig(n=4, num_views=3, delta=2, seed=0)
+        result = TobSvdProtocol(config).run()
+        final = result.decided_logs()[0]
+        assert len(final) == 4
+        assert all(block.transactions == () for block in final.blocks)

@@ -1,0 +1,128 @@
+"""TOB-SVD under dynamic participation: naps, late joiners, churn."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    all_confirmed,
+    check_safety,
+    count_new_blocks,
+)
+from repro.chain.transactions import TransactionPool
+from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol
+from repro.harness import churn_scenario
+from repro.sleepy import AwakeSchedule
+from repro.sleepy.compliance import check_compliance
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.participation import ParticipationModel
+
+DELTA = 4
+VIEW = 4 * DELTA
+
+
+class TestNappingValidator:
+    def test_napper_skips_votes_but_rejoins(self):
+        config = TobSvdConfig(n=8, num_views=6, delta=DELTA, seed=0)
+        # Validator 0 naps through views 2-3.
+        schedule = AwakeSchedule.nap(8, sleeper=0, nap_start=2 * VIEW, nap_end=4 * VIEW)
+        protocol = TobSvdProtocol(config, schedule=schedule)
+        result = protocol.run()
+        assert check_safety(result.trace).safe
+        # While asleep, validator 0 sends no votes.
+        napper_votes = [
+            e for e in result.trace.vote_phases if e.validator == 0
+        ]
+        asleep_votes = [e for e in napper_votes if 2 * VIEW <= e.time < 4 * VIEW]
+        assert asleep_votes == []
+        # After waking it needs the stabilization period before voting
+        # again (participation conditions), then re-joins fully.
+        awake_votes = [e for e in napper_votes if e.time >= 5 * VIEW]
+        assert awake_votes
+
+    def test_progress_unaffected_by_minority_nap(self):
+        config = TobSvdConfig(n=8, num_views=6, delta=DELTA, seed=1)
+        schedule = AwakeSchedule.nap(8, sleeper=3, nap_start=VIEW, nap_end=3 * VIEW)
+        result = TobSvdProtocol(config, schedule=schedule).run()
+        assert count_new_blocks(result.trace) == 6
+
+    def test_napper_decisions_pause_then_resume(self):
+        config = TobSvdConfig(n=8, num_views=8, delta=DELTA, seed=2)
+        schedule = AwakeSchedule.nap(8, sleeper=5, nap_start=2 * VIEW, nap_end=5 * VIEW)
+        result = TobSvdProtocol(config, schedule=schedule).run()
+        times = [e.time for e in result.trace.decisions if e.validator == 5]
+        gap = [t for t in times if 2 * VIEW <= t < 5 * VIEW]
+        assert gap == []  # no decisions while asleep
+        assert any(t >= 6 * VIEW for t in times)  # decides again after rejoining
+
+
+class TestLateJoiner:
+    def test_late_joiner_decides_within_8_delta_of_lemma_4(self):
+        """Lemma 4: awake for 8Δ after t_{v+1} - 2Δ => decides.
+
+        A validator joining mid-run must produce its first decision within
+        two views of waking (it needs to be awake at both t_v - 2Δ... in
+        our schedule terms: awake at consecutive decide phases with the
+        snapshots in between).
+        """
+
+        config = TobSvdConfig(n=8, num_views=8, delta=DELTA, seed=3)
+        join_time = 3 * VIEW + DELTA  # mid-view join
+        schedule = AwakeSchedule.late_joiner(8, joiner=7, join_time=join_time)
+        result = TobSvdProtocol(config, schedule=schedule).run()
+        joiner_decisions = [e.time for e in result.trace.decisions if e.validator == 7]
+        assert joiner_decisions, "late joiner never decided"
+        # First decision within 12 delta (= 8 delta of Lemma 4 rounded up
+        # to the next decide phase boundary) of joining.
+        assert min(joiner_decisions) <= join_time + 12 * DELTA
+        assert check_safety(result.trace).safe
+
+    def test_late_joiner_catches_up_to_full_log(self):
+        config = TobSvdConfig(n=8, num_views=8, delta=DELTA, seed=4)
+        schedule = AwakeSchedule.late_joiner(8, joiner=2, join_time=4 * VIEW)
+        protocol = TobSvdProtocol(config, schedule=schedule)
+        result = protocol.run()
+        final = result.decided_logs()
+        # The joiner's final decided log equals everyone else's.
+        assert final[2] == final[0]
+        assert len(final[2]) == config.num_views + 1  # genesis + one per view
+
+
+class TestChurn:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_compliant_churn_keeps_safety_and_liveness(self, seed):
+        pool = TransactionPool()
+        try:
+            protocol = churn_scenario(
+                n=12, num_views=8, delta=DELTA, seed=seed, pool=pool
+            )
+        except ValueError:
+            pytest.skip(f"seed {seed} generated a non-compliant schedule")
+        txs = [pool.submit(payload=f"c{i}", at_time=i * VIEW) for i in range(4)]
+        result = protocol.run()
+        assert check_safety(result.trace).safe
+        assert all_confirmed(result.trace, txs)
+
+    def test_churn_scenario_is_compliance_checked(self):
+        protocol = churn_scenario(n=12, num_views=6, delta=DELTA, seed=0)
+        t_b, t_s, rho = protocol.config.sleepy_model()
+        model = ParticipationModel(
+            schedule=protocol.schedule, corruption=CorruptionPlan.none()
+        )
+        report = check_compliance(model, t_b, t_s, rho, protocol.config.horizon)
+        assert report.compliant
+
+
+class TestMassSleep:
+    def test_non_compliant_mass_sleep_stalls_but_stays_safe(self):
+        """Even outside the model (everyone asleep), safety never breaks —
+        the protocol just stops deciding."""
+
+        config = TobSvdConfig(n=6, num_views=6, delta=DELTA, seed=5)
+        # Views 2-3: everyone asleep.
+        spec = {
+            vid: [(0, 2 * VIEW), (4 * VIEW, None)] for vid in range(6)
+        }
+        schedule = AwakeSchedule.from_intervals(6, spec)
+        result = TobSvdProtocol(config, schedule=schedule).run()
+        assert check_safety(result.trace).safe
+        decision_times = [e.time for e in result.trace.decisions]
+        assert not [t for t in decision_times if 2 * VIEW <= t < 4 * VIEW]

@@ -1,0 +1,82 @@
+"""Statistical integration tests: measured behaviour matches the paper's
+probabilistic model across seeds.
+
+These are the quantitative counterparts of Lemmas 2-4: over many views,
+leader failures are Bernoulli(f/n), confirmation latency follows the
+geometric-views formula, and the chain's growth rate equals the
+good-leader frequency.
+"""
+
+import pytest
+
+from repro.analysis.metrics import count_new_blocks
+from repro.harness import equivocating_scenario, measure_expected_latency
+
+
+class TestLeaderFailureStatistics:
+    def test_failure_rate_tracks_byzantine_stake(self):
+        """Across many views, views fail ≈ f/n of the time."""
+
+        total_views = 0
+        failed = 0
+        for seed in range(6):
+            protocol = equivocating_scenario(
+                n=10, f=4, num_views=20, delta=2, seed=seed
+            )
+            result = protocol.run()
+            total_views += 20
+            failed += 20 - count_new_blocks(result.trace)
+        rate = failed / total_views
+        assert rate == pytest.approx(0.4, abs=0.12)
+
+    def test_chain_growth_rate_equals_success_rate(self):
+        protocol = equivocating_scenario(n=10, f=4, num_views=24, delta=2, seed=7)
+        result = protocol.run()
+        blocks = count_new_blocks(result.trace)
+        growth_rate = blocks / 24
+        # Growth per view equals the empirical good-leader frequency.
+        assert 0.4 < growth_rate < 0.9
+
+
+class TestLatencyStatistics:
+    def test_geometric_model_fits_measured_mean(self):
+        """measured mean = best + view_len * q/(1-q) at the empirical q."""
+
+        measurement = measure_expected_latency(
+            n=10, f=4, num_views=24, delta=2, seeds=(0, 1, 2)
+        )
+        q = measurement.view_failure_rate
+        predicted = 6.0 + 4.0 * q / (1.0 - q)
+        assert measurement.mean_deltas == pytest.approx(predicted, abs=1.2)
+
+    def test_minimum_latency_is_the_best_case(self):
+        measurement = measure_expected_latency(
+            n=10, f=4, num_views=24, delta=2, seeds=(0, 1)
+        )
+        # Some view with an honest leader confirms at exactly 6 delta.
+        assert measurement.min_deltas == pytest.approx(6.0)
+
+    def test_latency_quantised_to_view_boundaries(self):
+        """Confirmation latencies are 6Δ + 4kΔ: decisions only happen at
+        decide phases, so the latency distribution is lattice-valued."""
+
+        from repro.chain.transactions import TransactionPool
+        from repro.analysis.latency import confirmation_times_deltas
+
+        pool = TransactionPool()
+        protocol = equivocating_scenario(
+            n=10, f=4, num_views=16, delta=2, seed=3, pool=pool
+        )
+        txs = []
+        for view in range(1, 12):
+            txs.append(
+                pool.submit(payload=f"q{view}", at_time=protocol.config.time.view_start(view) - 1)
+            )
+        result = protocol.run()
+        values = confirmation_times_deltas(result.trace, txs, 2)
+        for value in values:
+            remainder = (value - 6.0) % 4.0
+            # Submission one tick before the view start shifts by 1/delta.
+            assert remainder == pytest.approx(0.5, abs=0.01) or remainder == pytest.approx(
+                0.0, abs=0.01
+            )

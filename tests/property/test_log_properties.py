@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for the log prefix algebra.
+
+The prefix relation on logs rooted at a common genesis forms a tree order;
+these properties pin down exactly the algebraic facts every quorum
+argument in the paper relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.log import Log, common_prefix, highest
+from tests.conftest import make_tx
+
+
+@st.composite
+def log_trees(draw, max_depth=5, max_branch=3):
+    """A set of logs forming a random tree rooted at genesis."""
+
+    logs = [Log.genesis()]
+    count = draw(st.integers(min_value=1, max_value=8))
+    for i in range(count):
+        parent = draw(st.sampled_from(logs))
+        if len(parent) > max_depth:
+            continue
+        branch = draw(st.integers(min_value=0, max_value=max_branch))
+        child = parent.append_block(
+            [make_tx(10_000 + 10 * i + branch)], proposer=branch, view=i
+        )
+        logs.append(child)
+    return logs
+
+
+@st.composite
+def log_pairs(draw):
+    logs = draw(log_trees())
+    a = draw(st.sampled_from(logs))
+    b = draw(st.sampled_from(logs))
+    return a, b
+
+
+@st.composite
+def log_triples(draw):
+    logs = draw(log_trees())
+    return tuple(draw(st.sampled_from(logs)) for _ in range(3))
+
+
+class TestPrefixOrder:
+    @given(log_pairs())
+    def test_antisymmetry(self, pair):
+        a, b = pair
+        if a.prefix_of(b) and b.prefix_of(a):
+            assert a == b
+
+    @given(log_triples())
+    def test_transitivity(self, triple):
+        a, b, c = triple
+        if a.prefix_of(b) and b.prefix_of(c):
+            assert a.prefix_of(c)
+
+    @given(log_trees())
+    def test_reflexivity(self, logs):
+        for log in logs:
+            assert log.prefix_of(log)
+
+    @given(log_pairs())
+    def test_prefix_implies_shorter(self, pair):
+        a, b = pair
+        if a.prefix_of(b):
+            assert len(a) <= len(b)
+
+    @given(log_pairs())
+    def test_compatibility_is_symmetric(self, pair):
+        a, b = pair
+        assert a.compatible_with(b) == b.compatible_with(a)
+        assert a.conflicts_with(b) == b.conflicts_with(a)
+
+    @given(log_pairs())
+    def test_conflict_xor_compatible(self, pair):
+        a, b = pair
+        assert a.conflicts_with(b) != a.compatible_with(b)
+
+
+class TestTreeStructure:
+    @given(log_pairs())
+    def test_same_tip_same_log(self, pair):
+        a, b = pair
+        if len(a) == len(b) and a.tip == b.tip:
+            assert a == b
+
+    @given(log_triples())
+    def test_two_prefixes_of_one_log_are_compatible(self, triple):
+        a, b, c = triple
+        if a.prefix_of(c) and b.prefix_of(c):
+            assert a.compatible_with(b)
+
+    @given(log_pairs())
+    def test_conflicting_logs_share_no_extension(self, pair):
+        a, b = pair
+        if a.conflicts_with(b):
+            ext = a.append_block([make_tx(999_999)], proposer=0, view=0)
+            assert not ext.is_extension_of(b)
+
+
+class TestCommonPrefix:
+    @given(log_pairs())
+    def test_common_prefix_is_prefix_of_both(self, pair):
+        a, b = pair
+        cp = common_prefix(a, b)
+        assert cp.prefix_of(a) and cp.prefix_of(b)
+
+    @given(log_pairs())
+    def test_common_prefix_is_maximal(self, pair):
+        a, b = pair
+        cp = common_prefix(a, b)
+        if len(cp) < min(len(a), len(b)):
+            # The next block after the common prefix must differ.
+            assert a.blocks[len(cp)] != b.blocks[len(cp)]
+
+    @given(log_pairs())
+    def test_commutative(self, pair):
+        a, b = pair
+        assert common_prefix(a, b) == common_prefix(b, a)
+
+    @given(log_pairs())
+    def test_compatible_pairs_have_shorter_as_common_prefix(self, pair):
+        a, b = pair
+        if a.compatible_with(b):
+            shorter = a if len(a) <= len(b) else b
+            assert common_prefix(a, b) == shorter
+
+
+class TestHighest:
+    @given(log_trees())
+    def test_highest_is_a_member_of_maximum_length(self, logs):
+        top = highest(logs)
+        assert top in logs
+        assert len(top) == max(len(log) for log in logs)
+
+    @given(log_trees())
+    def test_order_independent(self, logs):
+        assert highest(logs) == highest(list(reversed(logs)))
+
+
+class TestSerialization:
+    @given(log_trees())
+    @settings(max_examples=30)
+    def test_log_id_injective_on_distinct_logs(self, logs):
+        by_id = {}
+        for log in logs:
+            if log.log_id in by_id:
+                assert by_id[log.log_id] == log
+            by_id[log.log_id] = log
+
+    @given(log_trees())
+    @settings(max_examples=30)
+    def test_all_prefixes_reconstruct_the_log(self, logs):
+        for log in logs:
+            prefixes = list(log.all_prefixes())
+            assert prefixes[-1] == log
+            for shorter, longer in zip(prefixes, prefixes[1:]):
+                assert shorter.prefix_of(longer)
+                assert len(longer) == len(shorter) + 1

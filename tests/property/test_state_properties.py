@@ -1,0 +1,106 @@
+"""Property-based tests for LogView under arbitrary message sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.log import Log
+from repro.core.state import HandleOutcome, LogView
+from repro.crypto.signatures import KeyRegistry
+from repro.net.messages import Envelope, LogMessage
+from tests.conftest import make_tx
+
+REGISTRY = KeyRegistry(6, seed=9)
+GA_KEY = ("prop", 0)
+
+_BASE = Log.genesis()
+_LOGS = [_BASE]
+for _i in range(5):
+    _LOGS.append(_BASE.append_block([make_tx(30_000 + _i)], proposer=_i, view=0))
+for _i in range(3):
+    _LOGS.append(_LOGS[1].append_block([make_tx(31_000 + _i)], proposer=_i, view=1))
+
+
+def _envelope(sender: int, log_index: int) -> Envelope:
+    payload = LogMessage(ga_key=GA_KEY, log=_LOGS[log_index])
+    return Envelope(
+        payload=payload, signature=REGISTRY.key_for(sender).sign(payload.digest())
+    )
+
+
+message_sequences = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, len(_LOGS) - 1)),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestLogViewInvariants:
+    @given(message_sequences)
+    def test_v_and_e_disjoint_and_cover_s(self, sequence):
+        view = LogView()
+        for sender, log_index in sequence:
+            view.handle(_envelope(sender, log_index))
+        v_senders = {sender for sender, _log in view.pairs()}
+        equivocators = set(view.equivocators())
+        assert not (v_senders & equivocators)
+        assert v_senders | equivocators == set(view.senders())
+
+    @given(message_sequences)
+    def test_at_most_one_log_per_sender(self, sequence):
+        view = LogView()
+        for sender, log_index in sequence:
+            view.handle(_envelope(sender, log_index))
+        senders = [sender for sender, _log in view.pairs()]
+        assert len(senders) == len(set(senders))
+
+    @given(message_sequences)
+    def test_forwarding_cap_two_per_sender(self, sequence):
+        view = LogView()
+        forwarded: dict[int, int] = {}
+        for sender, log_index in sequence:
+            outcome = view.handle(_envelope(sender, log_index))
+            if outcome.should_forward:
+                forwarded[sender] = forwarded.get(sender, 0) + 1
+        assert all(count <= 2 for count in forwarded.values())
+
+    @given(message_sequences)
+    def test_equivocators_never_return_to_v(self, sequence):
+        view = LogView()
+        equivocated_at: dict[int, int] = {}
+        for step, (sender, log_index) in enumerate(sequence):
+            outcome = view.handle(_envelope(sender, log_index))
+            if outcome is HandleOutcome.EQUIVOCATION:
+                equivocated_at[sender] = step
+            if sender in equivocated_at and step > equivocated_at[sender]:
+                assert outcome is HandleOutcome.IGNORED
+        for sender in equivocated_at:
+            assert view.log_of(sender) is None
+
+    @given(message_sequences)
+    @settings(max_examples=50)
+    def test_senders_monotone(self, sequence):
+        view = LogView()
+        previous: frozenset = frozenset()
+        for sender, log_index in sequence:
+            view.handle(_envelope(sender, log_index))
+            current = view.senders()
+            assert previous <= current
+            previous = current
+
+    @given(message_sequences)
+    @settings(max_examples=50)
+    def test_order_independence_of_final_equivocator_set(self, sequence):
+        """Senders with >= 2 distinct logs end up as equivocators however
+        the duplicates interleave."""
+
+        view = LogView()
+        for sender, log_index in sequence:
+            view.handle(_envelope(sender, log_index))
+        distinct: dict[int, set[int]] = {}
+        for sender, log_index in sequence:
+            distinct.setdefault(sender, set()).add(log_index)
+        for sender, logs in distinct.items():
+            if len(logs) >= 2:
+                assert sender in view.equivocators()
+            else:
+                assert view.log_of(sender) == _LOGS[next(iter(logs))]

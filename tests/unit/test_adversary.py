@@ -1,0 +1,108 @@
+"""Unit tests for adversary building blocks."""
+
+import pytest
+
+from repro.adversary import make_ga_attacker_factory, make_tob_attacker_factory
+from repro.adversary.base import ByzantineValidator
+from repro.crypto.signatures import KeyRegistry
+from repro.net.delays import UniformDelay
+from repro.net.messages import LogMessage
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+from repro.trace import Trace
+from tests.conftest import chain_of
+
+DELTA = 4
+
+
+class SinkNode:
+    def __init__(self, vid):
+        self.validator_id = vid
+        self.awake = True
+        self.received = []
+
+    def receive(self, envelope, time):
+        self.received.append((envelope, time))
+
+
+def build(n=4):
+    simulator = Simulator()
+    registry = KeyRegistry(n, seed=0)
+    network = Network(simulator, DELTA, registry, UniformDelay(DELTA))
+    sinks = [SinkNode(vid) for vid in range(1, n)]
+    byz = ByzantineValidator(0, registry.key_for(0), simulator, network, Trace())
+    network.register(byz)
+    for sink in sinks:
+        network.register(sink)
+    return simulator, network, byz, sinks
+
+
+class TestByzantineCapabilities:
+    def test_always_awake_and_corrupted(self):
+        _sim, _network, byz, _sinks = build()
+        assert byz.awake and byz.corrupted
+        byz.on_sleep(0)
+        assert byz.awake  # sleep orders are ignored
+
+    def test_targeted_send_reaches_only_targets(self):
+        simulator, _network, byz, sinks = build()
+        byz.send_to(LogMessage(("k", 0), chain_of(1)), recipients=[1, 2], delay=0)
+        simulator.run_until(DELTA)
+        assert len(sinks[0].received) == 1  # vid 1
+        assert len(sinks[1].received) == 1  # vid 2
+        assert len(sinks[2].received) == 0  # vid 3 excluded
+
+    def test_split_send_partitions_recipients(self):
+        simulator, _network, byz, sinks = build()
+        env_a, env_b = byz.split_send(
+            LogMessage(("k", 0), chain_of(1, tag=1)),
+            LogMessage(("k", 0), chain_of(1, tag=2)),
+            group_a=[1],
+            group_b=[2, 3],
+            delay=1,
+        )
+        simulator.run_until(DELTA)
+        assert sinks[0].received[0][0] == env_a
+        assert sinks[1].received[0][0] == env_b
+        assert sinks[2].received[0][0] == env_b
+        assert env_a.sender == env_b.sender == 0  # both genuinely signed
+
+    def test_scheduled_action_runs(self):
+        simulator, _network, byz, _sinks = build()
+        fired = []
+        byz.at(7, lambda: fired.append(simulator.now))
+        simulator.run_until(10)
+        assert fired == [7]
+
+
+class TestFactories:
+    def test_unknown_tob_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_tob_attacker_factory("not-a-kind")
+
+    def test_unknown_ga_kind_rejected(self):
+        factory = make_ga_attacker_factory("nonsense", ga_key=("g", 0))
+        simulator, network, _byz, _sinks = build()
+        registry = KeyRegistry(4, seed=0)
+        with pytest.raises(ValueError):
+            factory(0, registry.key_for(0), simulator, network, Trace())
+
+    def test_ga_equivocator_requires_logs(self):
+        factory = make_ga_attacker_factory("equivocator", ga_key=("g", 0))
+        simulator, network, _byz, _sinks = build()
+        registry = KeyRegistry(4, seed=0)
+        with pytest.raises(ValueError):
+            factory(1, registry.key_for(1), simulator, network, Trace())
+
+    def test_ga_split_requires_groups(self):
+        factory = make_ga_attacker_factory(
+            "split", ga_key=("g", 0), log_a=chain_of(1), log_b=chain_of(1, tag=2)
+        )
+        simulator, network, _byz, _sinks = build()
+        registry = KeyRegistry(4, seed=0)
+        with pytest.raises(ValueError):
+            factory(1, registry.key_for(1), simulator, network, Trace())
+
+    def test_known_tob_kinds_build(self):
+        for kind in ("silent", "equivocating-proposer", "double-voter"):
+            assert callable(make_tob_attacker_factory(kind))

@@ -1,0 +1,70 @@
+"""Unit tests for the signature-aggregation latency analysis (Section 1)."""
+
+import pytest
+
+from repro.analysis.aggregation import (
+    aggregated_latency,
+    aggregation_table,
+    render_aggregation_table,
+)
+from repro.baselines.structure import TABLE1_ORDER, structure_for
+
+
+class TestAggregatedLatency:
+    def test_tobsvd_pricing(self):
+        priced = aggregated_latency(structure_for("tobsvd"))
+        # 6Δ nominal + 1 voting phase stretched to 2Δ -> 7Δ best case.
+        assert priced.best_case_deltas == 7
+        # One expected failed view of (4 + 1)Δ on top -> 12Δ expected.
+        assert priced.expected_deltas == 12
+
+    def test_mmr2_pricing(self):
+        priced = aggregated_latency(structure_for("mmr2"))
+        assert priced.best_case_deltas == 7  # 4 + 3 phases
+        assert priced.expected_deltas == 26  # 7 + (10 + 9)
+
+    def test_mr_pricing(self):
+        priced = aggregated_latency(structure_for("mr"))
+        assert priced.best_case_deltas == 26
+        assert priced.expected_deltas == 52
+
+    def test_single_vote_design_wins_under_aggregation(self):
+        """The paper's Section-1 argument, quantified.
+
+        Nominally TOB-SVD's best case (6Δ) is *worse* than MMR2's (4Δ);
+        with 2Δ voting phases they tie in the best case and TOB-SVD wins
+        the expected case by more than 2x.
+        """
+
+        ours = aggregated_latency(structure_for("tobsvd"))
+        mmr2 = aggregated_latency(structure_for("mmr2"))
+        assert structure_for("tobsvd").best_case_latency_deltas > structure_for(
+            "mmr2"
+        ).best_case_latency_deltas
+        assert ours.best_case_deltas == mmr2.best_case_deltas
+        assert ours.speedup_vs(mmr2) > 2.0
+
+    def test_tobsvd_beats_all_half_resilient_rivals_in_expectation(self):
+        table = aggregation_table()
+        for rival in ("mr", "mmr2", "gl"):
+            assert table["tobsvd"].expected_deltas < table[rival].expected_deltas
+
+    def test_table_covers_all_protocols(self):
+        table = aggregation_table()
+        assert set(table) == set(TABLE1_ORDER)
+
+    def test_render_contains_all_rows(self):
+        text = render_aggregation_table()
+        for name in TABLE1_ORDER:
+            assert structure_for(name).display_name in text
+
+    def test_pricing_monotone_in_phase_count(self):
+        for name in TABLE1_ORDER:
+            structure = structure_for(name)
+            priced = aggregated_latency(structure)
+            assert priced.best_case_deltas >= structure.best_case_latency_deltas
+            assert priced.expected_deltas >= structure.expected_latency_deltas(0.5)
+
+    def test_invalid_p_good_propagates(self):
+        with pytest.raises(ValueError):
+            aggregated_latency(structure_for("tobsvd"), p_good=0)

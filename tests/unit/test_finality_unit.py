@@ -1,0 +1,51 @@
+"""Unit tests for the finality gadget's timeline bookkeeping."""
+
+from fractions import Fraction
+
+from repro.chain.log import Log
+from repro.core.finality import FinalityTimeline, FinalizationEvent
+from tests.conftest import chain_of
+
+
+class TestTimeline:
+    def _timeline(self):
+        log = chain_of(3)
+        return FinalityTimeline(
+            n=4,
+            threshold=Fraction(2, 3),
+            events=[
+                FinalizationEvent(time=10, log=log.prefix(2), supporters=frozenset({0, 1, 2})),
+                FinalizationEvent(time=30, log=log, supporters=frozenset({0, 1, 2, 3})),
+            ],
+        )
+
+    def test_finalized_is_latest(self):
+        timeline = self._timeline()
+        assert timeline.finalized == chain_of(3)
+
+    def test_finalized_at_times(self):
+        timeline = self._timeline()
+        assert timeline.finalized_at(5) == Log.genesis()
+        assert timeline.finalized_at(10) == chain_of(3).prefix(2)
+        assert timeline.finalized_at(29) == chain_of(3).prefix(2)
+        assert timeline.finalized_at(30) == chain_of(3)
+
+    def test_empty_timeline_is_genesis(self):
+        timeline = FinalityTimeline(n=4, threshold=Fraction(2, 3))
+        assert timeline.finalized == Log.genesis()
+        assert timeline.is_monotone()
+
+    def test_monotonicity_detection(self):
+        log = chain_of(2)
+        bad = FinalityTimeline(
+            n=4,
+            threshold=Fraction(2, 3),
+            events=[
+                FinalizationEvent(time=1, log=log, supporters=frozenset({0, 1, 2})),
+                FinalizationEvent(
+                    time=2, log=chain_of(2, tag=9), supporters=frozenset({0, 1, 2})
+                ),
+            ],
+        )
+        assert not bad.is_monotone()
+        assert self._timeline().is_monotone()

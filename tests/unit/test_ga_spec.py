@@ -1,0 +1,148 @@
+"""Unit tests for GA specs and the GaInstance state machine."""
+
+import pytest
+
+from repro.core.ga import GA2_SPEC, GA3_SPEC, NAIVE_GA2_SPEC, GaInstance, GaSpec, GradeSpec
+from repro.core.state import HandleOutcome
+from repro.crypto.signatures import KeyRegistry
+from repro.net.messages import Envelope, LogMessage
+from tests.conftest import chain_of, fork_of
+
+REGISTRY = KeyRegistry(10, seed=2)
+
+
+def envelope(sender, log, ga_key=("ga2", 0)):
+    payload = LogMessage(ga_key=ga_key, log=log)
+    return Envelope(payload=payload, signature=REGISTRY.key_for(sender).sign(payload.digest()))
+
+
+class TestSpecs:
+    def test_ga2_shape_matches_figure_1(self):
+        assert GA2_SPEC.k == 2
+        assert GA2_SPEC.duration_deltas == 3
+        assert GA2_SPEC.snapshot_offsets == (1,)
+        assert GA2_SPEC.grade_spec(0).output_offset == 2
+        assert GA2_SPEC.grade_spec(0).snapshot_offset is None
+        assert GA2_SPEC.grade_spec(1).output_offset == 3
+        assert GA2_SPEC.grade_spec(1).snapshot_offset == 1
+
+    def test_ga3_shape_matches_figure_2(self):
+        assert GA3_SPEC.k == 3
+        assert GA3_SPEC.duration_deltas == 5
+        assert GA3_SPEC.snapshot_offsets == (1, 2)
+        assert GA3_SPEC.grade_spec(0).output_offset == 3
+        assert GA3_SPEC.grade_spec(1).output_offset == 4
+        assert GA3_SPEC.grade_spec(1).snapshot_offset == 2
+        assert GA3_SPEC.grade_spec(2).output_offset == 5
+        assert GA3_SPEC.grade_spec(2).snapshot_offset == 1
+
+    def test_sleepy_model_parameters(self):
+        assert GA2_SPEC.sleepy_model(delta=4) == (12, 0, 0.5)
+        assert GA3_SPEC.sleepy_model(delta=4) == (20, 0, 0.5)
+
+    def test_unknown_grade_raises(self):
+        with pytest.raises(KeyError):
+            GA2_SPEC.grade_spec(2)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GaSpec(
+                name="bad",
+                k=1,
+                duration_deltas=2,
+                snapshot_offsets=(),
+                grades=(GradeSpec(0, 1, None), GradeSpec(1, 2, None)),
+            )
+        with pytest.raises(ValueError):
+            GaSpec(
+                name="bad",
+                k=1,
+                duration_deltas=2,
+                snapshot_offsets=(),
+                grades=(GradeSpec(0, 1, 1),),  # snapshot 1 is not stored
+            )
+
+
+class TestGaInstance:
+    def make(self, spec=GA2_SPEC, delta=4):
+        return GaInstance(spec, key=("ga2", 0), start_time=0, delta=delta)
+
+    def test_timing_helpers(self):
+        ga = GaInstance(GA3_SPEC, key=("x",), start_time=100, delta=4)
+        assert ga.time_of_snapshot(1) == 104
+        assert ga.time_of_snapshot(2) == 108
+        assert ga.time_of_output(0) == 112
+        assert ga.time_of_output(2) == 120
+        assert ga.end_time == 120
+
+    def test_note_input_builds_payload(self):
+        ga = self.make()
+        log = chain_of(1)
+        payload = ga.note_input(log)
+        assert payload.log == log
+        assert tuple(payload.ga_key) == ("ga2", 0)
+        assert ga.input_log == log
+
+    def test_snapshot_offsets_validated(self):
+        ga = self.make()
+        with pytest.raises(ValueError):
+            ga.take_snapshot(2)  # GA2 stores only at Delta
+
+    def test_participation_conditions(self):
+        ga = self.make()
+        assert ga.can_participate(0)  # grade 0 needs no snapshot
+        assert not ga.can_participate(1)
+        ga.take_snapshot(1)
+        assert ga.can_participate(1)
+
+    def test_grade0_uses_live_pairs(self):
+        ga = self.make()
+        log = chain_of(1)
+        for sender in range(3):
+            assert ga.handle_log(envelope(sender, log)) is HandleOutcome.ACCEPTED
+        outputs = ga.compute_outputs(0)
+        assert outputs[-1] == log
+
+    def test_grade1_requires_snapshot(self):
+        ga = self.make()
+        ga.handle_log(envelope(0, chain_of(1)))
+        assert ga.compute_outputs(1) is None
+
+    def test_grade1_intersects_snapshot_with_live(self):
+        ga = self.make()
+        log = chain_of(1)
+        # Senders 0,1,2 arrive before the snapshot.
+        for sender in range(3):
+            ga.handle_log(envelope(sender, log))
+        ga.take_snapshot(1)
+        # Sender 0 equivocates afterwards: removed from live V.
+        ga.handle_log(envelope(0, chain_of(1, tag=9)))
+        outputs = ga.compute_outputs(1)
+        # Support = {1, 2} of |S| = 3: 2 > 1.5 still a majority.
+        assert outputs[-1] == log
+        # One more equivocator kills the majority: support {2} of |S|=3.
+        ga.handle_log(envelope(1, chain_of(1, tag=8)))
+        assert ga.compute_outputs(1) == []
+
+    def test_late_senders_do_not_gain_grade1_support(self):
+        ga = self.make()
+        log = chain_of(1)
+        ga.handle_log(envelope(0, log))
+        ga.take_snapshot(1)
+        # Senders 1 and 2 arrive after the snapshot: they raise |S| but
+        # cannot add grade-1 support (time-shifted quorum).
+        ga.handle_log(envelope(1, log))
+        ga.handle_log(envelope(2, log))
+        assert ga.compute_outputs(1) == []  # support 1 of |S| 3
+
+    def test_naive_variant_skips_live_intersection(self):
+        ga = GaInstance(NAIVE_GA2_SPEC, key=("n", 0), start_time=0, delta=4)
+        log = chain_of(1)
+        for sender in range(3):
+            ga.handle_log(envelope(sender, log, ga_key=("n", 0)))
+        ga.take_snapshot(1)
+        # Two equivocations after the snapshot: live V loses them, but the
+        # naive variant keeps counting the stale snapshot support.
+        ga.handle_log(envelope(0, chain_of(1, tag=9), ga_key=("n", 0)))
+        ga.handle_log(envelope(1, chain_of(1, tag=8), ga_key=("n", 0)))
+        assert ga.compute_outputs(1)[-1] == log  # stale majority survives

@@ -1,0 +1,58 @@
+"""Unit tests for repro.crypto.hashing."""
+
+import pytest
+
+from repro.crypto.hashing import digest_to_unit_float, stable_digest
+
+
+class TestStableDigest:
+    def test_deterministic(self):
+        assert stable_digest(("a", 1, 2.5)) == stable_digest(("a", 1, 2.5))
+
+    def test_distinguishes_values(self):
+        assert stable_digest("a") != stable_digest("b")
+
+    def test_distinguishes_types(self):
+        assert stable_digest(1) != stable_digest("1")
+        assert stable_digest(True) != stable_digest(1)
+        assert stable_digest(None) != stable_digest("")
+
+    def test_distinguishes_structure(self):
+        assert stable_digest(("ab",)) != stable_digest(("a", "b"))
+        assert stable_digest((("a",), "b")) != stable_digest(("a", ("b",)))
+
+    def test_nested_containers(self):
+        value = ("x", [1, 2, (3, None)], b"bytes")
+        assert stable_digest(value) == stable_digest(value)
+
+    def test_list_and_tuple_equivalent(self):
+        # Lists and tuples canonicalise identically (both are sequences).
+        assert stable_digest([1, 2]) == stable_digest((1, 2))
+
+    def test_string_length_prefix_prevents_ambiguity(self):
+        assert stable_digest(("a", "bc")) != stable_digest(("ab", "c"))
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            stable_digest(object())
+
+    def test_hex_output(self):
+        digest = stable_digest("anything")
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+
+class TestDigestToUnitFloat:
+    def test_in_unit_interval(self):
+        for i in range(50):
+            value = digest_to_unit_float(stable_digest(("f", i)))
+            assert 0.0 <= value < 1.0
+
+    def test_deterministic(self):
+        digest = stable_digest("seed")
+        assert digest_to_unit_float(digest) == digest_to_unit_float(digest)
+
+    def test_spread(self):
+        values = [digest_to_unit_float(stable_digest(("s", i))) for i in range(200)]
+        assert len(set(values)) == 200
+        assert min(values) < 0.2 and max(values) > 0.8

@@ -1,0 +1,198 @@
+"""Unit tests for messages, delay policies and the network."""
+
+import random
+
+import pytest
+
+from repro.chain.log import Log
+from repro.crypto.signatures import KeyRegistry, Signature
+from repro.net.delays import (
+    AdversarialDelay,
+    EagerDelay,
+    RandomDelay,
+    SplitDelay,
+    UniformDelay,
+)
+from repro.net.messages import Envelope, LogMessage, ProposalMessage, VoteMessage
+from repro.net.network import Network
+from repro.crypto.vrf import VRF
+from repro.sim.simulator import Simulator
+from tests.conftest import chain_of
+
+DELTA = 4
+
+
+class RecordingNode:
+    """Minimal NetworkNode capturing deliveries."""
+
+    def __init__(self, vid: int, awake: bool = True):
+        self.validator_id = vid
+        self.awake = awake
+        self.received: list[tuple[object, int]] = []
+
+    def receive(self, envelope, time):
+        self.received.append((envelope, time))
+
+
+def build_network(n=3, policy=None, seed=0):
+    sim = Simulator(seed=seed)
+    registry = KeyRegistry(n, seed=seed)
+    network = Network(sim, DELTA, registry, policy or UniformDelay(DELTA))
+    nodes = [RecordingNode(i) for i in range(n)]
+    for node in nodes:
+        network.register(node)
+    return sim, registry, network, nodes
+
+
+def signed(registry, vid, payload) -> Envelope:
+    return Envelope(payload=payload, signature=registry.key_for(vid).sign(payload.digest()))
+
+
+class TestMessages:
+    def test_log_message_digest_depends_on_key_and_log(self):
+        a = LogMessage(ga_key=("x", 0), log=chain_of(1))
+        b = LogMessage(ga_key=("x", 1), log=chain_of(1))
+        c = LogMessage(ga_key=("x", 0), log=chain_of(2))
+        assert len({a.digest(), b.digest(), c.digest()}) == 3
+
+    def test_vote_and_log_digests_differ(self):
+        log = chain_of(1)
+        assert LogMessage(("k", 0), log).digest() != VoteMessage(("k", 0), log).digest()
+
+    def test_proposal_digest_includes_vrf(self):
+        log = chain_of(1)
+        vrf = VRF(0)
+        a = ProposalMessage(0, log, vrf.evaluate(0, 0))
+        b = ProposalMessage(0, log, vrf.evaluate(1, 0))
+        assert a.digest() != b.digest()
+
+    def test_envelope_identity_content_based(self):
+        registry = KeyRegistry(2)
+        payload = LogMessage(("k", 0), chain_of(1))
+        e1 = signed(registry, 0, payload)
+        e2 = signed(registry, 0, payload)
+        assert e1.envelope_id == e2.envelope_id
+        assert e1.envelope_id != signed(registry, 1, payload).envelope_id
+
+    def test_size_units(self):
+        registry = KeyRegistry(1)
+        log_env = signed(registry, 0, LogMessage(("k", 0), chain_of(3)))
+        assert log_env.size_units() == 4  # genesis + 3 blocks
+
+
+class TestDelayPolicies:
+    def test_uniform(self):
+        assert UniformDelay(DELTA).delay(0, 1, None, 0) == DELTA
+
+    def test_eager(self):
+        assert EagerDelay(DELTA).delay(0, 1, None, 0) == 1
+
+    def test_random_within_bounds(self):
+        policy = RandomDelay(DELTA, random.Random(0), min_ticks=1)
+        for _ in range(50):
+            assert 1 <= policy.delay(0, 1, None, 0) <= DELTA
+
+    def test_random_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDelay(DELTA, random.Random(0), min_ticks=DELTA + 1)
+
+    def test_split(self):
+        policy = SplitDelay(DELTA, fast_recipients={1}, fast_ticks=0)
+        assert policy.delay(0, 1, None, 0) == 0
+        assert policy.delay(0, 2, None, 0) == DELTA
+
+    def test_adversarial_override_and_clamp(self):
+        policy = AdversarialDelay(DELTA, UniformDelay(DELTA))
+        policy.delay_sender(0, ticks=99)  # clamped to Delta
+        policy.delay_link(1, 2, ticks=1)
+        assert policy.delay(0, 1, None, 0) == DELTA
+        assert policy.delay(1, 2, None, 0) == 1
+        assert policy.delay(2, 1, None, 0) == DELTA  # falls through to base
+
+
+class TestNetwork:
+    def test_broadcast_reaches_everyone_by_delta(self):
+        sim, registry, network, nodes = build_network()
+        env = signed(registry, 0, LogMessage(("k", 0), chain_of(1)))
+        network.broadcast(env)
+        sim.run_until(DELTA)
+        for node in nodes:
+            assert len(node.received) == 1
+
+    def test_self_delivery_immediate(self):
+        sim, registry, network, nodes = build_network()
+        env = signed(registry, 0, LogMessage(("k", 0), chain_of(1)))
+        network.broadcast(env)
+        # Before running the loop past time 0, the sender has it already.
+        sim.run_until(0)
+        assert len(nodes[0].received) == 1
+        assert all(len(nodes[i].received) == 0 for i in (1, 2))
+
+    def test_invalid_signature_raises(self):
+        sim, registry, network, nodes = build_network()
+        payload = LogMessage(("k", 0), chain_of(1))
+        forged = Envelope(
+            payload=payload,
+            signature=Signature(signer=0, payload_digest=payload.digest(), tag="bad"),
+        )
+        with pytest.raises(Exception):
+            network.broadcast(forged)
+
+    def test_sleep_buffering_and_flush(self):
+        sim, registry, network, nodes = build_network()
+        nodes[1].awake = False
+        env = signed(registry, 0, LogMessage(("k", 0), chain_of(1)))
+        network.broadcast(env)
+        sim.run_until(DELTA)
+        assert nodes[1].received == []
+        assert network.pending_count(1) == 1
+        nodes[1].awake = True
+        flushed = network.flush_pending(1)
+        assert flushed == 1
+        assert len(nodes[1].received) == 1
+
+    def test_flush_asleep_node_raises(self):
+        _sim, _registry, network, nodes = build_network()
+        nodes[2].awake = False
+        with pytest.raises(RuntimeError):
+            network.flush_pending(2)
+
+    def test_forward_skips_origin_and_forwarder(self):
+        sim, registry, network, nodes = build_network(n=4)
+        env = signed(registry, 0, LogMessage(("k", 0), chain_of(1)))
+        network.forward(1, env)
+        sim.run_until(DELTA)
+        assert len(nodes[0].received) == 0  # original sender skipped
+        assert len(nodes[1].received) == 0  # forwarder skipped
+        assert len(nodes[2].received) == 1
+        assert len(nodes[3].received) == 1
+
+    def test_send_direct_only_target(self):
+        sim, registry, network, nodes = build_network()
+        env = signed(registry, 0, LogMessage(("k", 0), chain_of(1)))
+        network.send_direct(env, recipient=2, delay=2)
+        sim.run_until(DELTA)
+        assert len(nodes[2].received) == 1
+        assert len(nodes[1].received) == 0
+
+    def test_delay_clamped_to_delta(self):
+        sim, registry, network, nodes = build_network()
+        env = signed(registry, 0, LogMessage(("k", 0), chain_of(1)))
+        network.send_direct(env, recipient=1, delay=999)
+        sim.run_until(DELTA)
+        assert len(nodes[1].received) == 1  # arrived by Delta despite delay=999
+
+    def test_stats_count_weighted_deliveries(self):
+        sim, registry, network, nodes = build_network()
+        env = signed(registry, 0, LogMessage(("k", 0), chain_of(2)))
+        network.broadcast(env)
+        sim.run_until(DELTA)
+        assert network.stats.sends == 1
+        assert network.stats.deliveries == 3
+        assert network.stats.weighted_deliveries == 9  # 3 deliveries x len-3 log
+        assert network.stats.by_type["LogMessage"] == 3
+
+    def test_duplicate_registration_rejected(self):
+        _sim, _registry, network, _nodes = build_network()
+        with pytest.raises(ValueError):
+            network.register(RecordingNode(0))

@@ -1,0 +1,93 @@
+"""Unit tests for the proposal book (equivocation discard + VRF checks)."""
+
+from repro.core.proposals import ProposalBook
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.vrf import VRF, VrfOutput
+from repro.net.messages import Envelope, ProposalMessage
+from tests.conftest import chain_of, fork_of
+
+REGISTRY = KeyRegistry(8, seed=3)
+VRF_ORACLE = VRF(seed=3)
+
+
+def proposal(sender: int, view: int, log, vrf=None) -> Envelope:
+    payload = ProposalMessage(
+        view=view, log=log, vrf=vrf if vrf is not None else VRF_ORACLE.evaluate(sender, view)
+    )
+    return Envelope(
+        payload=payload, signature=REGISTRY.key_for(sender).sign(payload.digest())
+    )
+
+
+class TestProposalBook:
+    def test_accepts_and_forwards_first_proposal(self):
+        book = ProposalBook(view=0, vrf=VRF_ORACLE)
+        assert book.handle(proposal(0, 0, chain_of(1)))
+        assert len(book.proposals()) == 1
+
+    def test_wrong_view_dropped(self):
+        book = ProposalBook(view=0, vrf=VRF_ORACLE)
+        assert not book.handle(proposal(0, 1, chain_of(1)))
+        assert book.proposals() == []
+
+    def test_duplicate_not_forwarded(self):
+        book = ProposalBook(view=0, vrf=VRF_ORACLE)
+        env = proposal(0, 0, chain_of(1))
+        assert book.handle(env)
+        assert not book.handle(env)
+
+    def test_equivocation_discards_sender_but_forwards_evidence(self):
+        book = ProposalBook(view=0, vrf=VRF_ORACLE)
+        book.handle(proposal(0, 0, chain_of(1, tag=1)))
+        assert book.handle(proposal(0, 0, chain_of(1, tag=2)))  # forwarded
+        assert book.proposals() == []
+        assert book.equivocators() == frozenset({0})
+
+    def test_post_equivocation_proposals_ignored(self):
+        book = ProposalBook(view=0, vrf=VRF_ORACLE)
+        book.handle(proposal(0, 0, chain_of(1, tag=1)))
+        book.handle(proposal(0, 0, chain_of(1, tag=2)))
+        assert not book.handle(proposal(0, 0, chain_of(1, tag=3)))
+
+    def test_stolen_vrf_rejected(self):
+        book = ProposalBook(view=0, vrf=VRF_ORACLE)
+        stolen = VRF_ORACLE.evaluate(5, 0)  # validator 5's value...
+        assert not book.handle(proposal(0, 0, chain_of(1), vrf=stolen))  # ...from 0
+
+    def test_wrong_view_vrf_rejected(self):
+        book = ProposalBook(view=0, vrf=VRF_ORACLE)
+        wrong_view = VRF_ORACLE.evaluate(0, 3)
+        assert not book.handle(proposal(0, 0, chain_of(1), vrf=wrong_view))
+
+    def test_forged_vrf_value_rejected(self):
+        book = ProposalBook(view=0, vrf=VRF_ORACLE)
+        real = VRF_ORACLE.evaluate(0, 0)
+        forged = VrfOutput(validator_id=0, view=0, value=0.9999999, proof=real.proof)
+        assert not book.handle(proposal(0, 0, chain_of(1), vrf=forged))
+
+    def test_proposals_sorted_by_vrf(self):
+        book = ProposalBook(view=2, vrf=VRF_ORACLE)
+        for sender in range(5):
+            book.handle(proposal(sender, 2, chain_of(1)))
+        values = [p.message.vrf.value for p in book.proposals()]
+        assert values == sorted(values, reverse=True)
+
+    def test_best_extending_respects_lock(self):
+        book = ProposalBook(view=1, vrf=VRF_ORACLE)
+        lock = chain_of(2)
+        extending = fork_of(lock, 1)
+        conflicting = chain_of(3, tag=7)
+        for sender, log in ((0, extending), (1, conflicting), (2, extending)):
+            book.handle(proposal(sender, 1, log))
+        best = book.best_extending(lock)
+        assert best is not None
+        assert best.message.log == extending
+        # And the winner is the higher-VRF of the two extenders.
+        v0 = VRF_ORACLE.evaluate(0, 1).value
+        v2 = VRF_ORACLE.evaluate(2, 1).value
+        assert best.sender == (0 if v0 > v2 else 2)
+
+    def test_best_extending_none_when_nothing_extends(self):
+        book = ProposalBook(view=0, vrf=VRF_ORACLE)
+        book.handle(proposal(0, 0, chain_of(1, tag=5)))
+        assert book.best_extending(chain_of(2)) is None

@@ -1,0 +1,112 @@
+"""Unit tests for the time-shifted quorum arithmetic."""
+
+from repro.core.quorum import (
+    highest_majority,
+    majority_chain,
+    meets_quorum,
+    pair_intersection,
+    support_count,
+)
+from tests.conftest import chain_of, fork_of
+
+
+class TestMeetsQuorum:
+    def test_strict_majority(self):
+        assert meets_quorum(3, 5)
+        assert not meets_quorum(3, 6)  # 3 is not > 3
+        assert meets_quorum(4, 6)
+
+    def test_zero_senders(self):
+        assert not meets_quorum(0, 0)
+
+
+class TestSupportCount:
+    def test_counts_extensions(self):
+        base = chain_of(1)
+        pairs = {(0, fork_of(base, 1)), (1, base), (2, chain_of(1, tag=5))}
+        assert support_count(pairs, base) == 2
+
+    def test_counts_distinct_senders(self):
+        base = chain_of(1)
+        # One sender appearing with one log counts once.
+        pairs = [(0, base), (0, base)]
+        assert support_count(pairs, base) == 1
+
+
+class TestPairIntersection:
+    def test_requires_sender_and_log_match(self):
+        a_log, b_log = chain_of(1, tag=1), chain_of(1, tag=2)
+        early = {(0, a_log), (1, a_log)}
+        late = {(0, a_log), (1, b_log)}
+        assert pair_intersection(early, late) == frozenset({(0, a_log)})
+
+    def test_removes_equivocators_exposed_later(self):
+        # Sender 1 was in the snapshot but equivocated before the output
+        # phase: its pair vanished from the live V, so it drops out.
+        log = chain_of(1)
+        early = {(0, log), (1, log)}
+        late = {(0, log)}
+        assert pair_intersection(early, late) == frozenset({(0, log)})
+
+
+class TestMajorityChain:
+    def test_unanimous_chain(self):
+        log = chain_of(2)
+        pairs = {(i, log) for i in range(4)}
+        chain = majority_chain(pairs, sender_count=4)
+        assert chain == [log.prefix(1), log.prefix(2), log]
+
+    def test_split_vote_no_majority_beyond_fork(self, genesis):
+        base = chain_of(1)
+        a, b = fork_of(base, 1), fork_of(base, 2)
+        pairs = {(0, a), (1, a), (2, b), (3, b)}
+        chain = majority_chain(pairs, sender_count=4)
+        assert chain == [genesis, base]  # fork splits support 2/2
+
+    def test_majority_branch_wins(self):
+        base = chain_of(1)
+        a, b = fork_of(base, 1), fork_of(base, 2)
+        pairs = {(0, a), (1, a), (2, a), (3, b)}
+        chain = majority_chain(pairs, sender_count=4)
+        assert chain[-1] == a
+
+    def test_sender_count_larger_than_pairs(self):
+        # |S| read live can exceed the snapshot's sender set; quorum uses it.
+        log = chain_of(1)
+        pairs = {(0, log), (1, log)}
+        assert majority_chain(pairs, sender_count=4) == []  # 2 not > 2
+        assert majority_chain(pairs, sender_count=3) == [log.prefix(1), log]
+
+    def test_empty_inputs(self):
+        assert majority_chain(set(), sender_count=5) == []
+        assert majority_chain({(0, chain_of(1))}, sender_count=0) == []
+
+    def test_chain_is_pairwise_compatible(self):
+        base = chain_of(2)
+        pairs = {(i, fork_of(base, i % 2)) for i in range(5)}
+        chain = majority_chain(pairs, sender_count=5)
+        for i, first in enumerate(chain):
+            for second in chain[i + 1 :]:
+                assert first.compatible_with(second)
+
+    def test_highest_majority(self):
+        log = chain_of(3)
+        pairs = {(i, log) for i in range(3)}
+        assert highest_majority(pairs, 3) == log
+        assert highest_majority(set(), 3) is None
+
+    def test_one_log_per_sender_makes_conflicting_majorities_impossible(self):
+        # Whatever the pair set, two conflicting logs can never both clear
+        # the quorum: supporters are disjoint.
+        base = chain_of(1)
+        a, b = fork_of(base, 1), fork_of(base, 2)
+        for split in range(6):
+            pairs = {(i, a if i < split else b) for i in range(5)}
+            chain = majority_chain(pairs, sender_count=5)
+            conflicting = [
+                (x, y)
+                for i, x in enumerate(chain)
+                for y in chain[i + 1 :]
+                if x.conflicts_with(y)
+            ]
+            assert conflicting == []

@@ -1,0 +1,76 @@
+"""Unit tests for the simulated signature scheme."""
+
+import pytest
+
+from repro.crypto.hashing import stable_digest
+from repro.crypto.signatures import KeyRegistry, Signature, SignatureError
+
+
+@pytest.fixture
+def registry() -> KeyRegistry:
+    return KeyRegistry(n=4, seed=7)
+
+
+class TestSigning:
+    def test_sign_verify_roundtrip(self, registry):
+        key = registry.key_for(2)
+        digest = stable_digest("payload")
+        sig = key.sign(digest)
+        assert sig.signer == 2
+        assert registry.verify(sig, digest)
+
+    def test_wrong_payload_rejected(self, registry):
+        key = registry.key_for(0)
+        sig = key.sign(stable_digest("payload"))
+        assert not registry.verify(sig, stable_digest("other"))
+
+    def test_forged_tag_rejected(self, registry):
+        digest = stable_digest("payload")
+        forged = Signature(signer=1, payload_digest=digest, tag="00" * 32)
+        assert not registry.verify(forged, digest)
+
+    def test_cross_validator_forgery_rejected(self, registry):
+        # A signature by validator 0 presented as validator 1's.
+        digest = stable_digest("payload")
+        sig0 = registry.key_for(0).sign(digest)
+        impersonation = Signature(signer=1, payload_digest=digest, tag=sig0.tag)
+        assert not registry.verify(impersonation, digest)
+
+    def test_unknown_signer_rejected(self, registry):
+        digest = stable_digest("payload")
+        ghost = Signature(signer=99, payload_digest=digest, tag="ab")
+        assert not registry.verify(ghost, digest)
+
+    def test_require_valid_raises(self, registry):
+        digest = stable_digest("payload")
+        bad = Signature(signer=0, payload_digest=digest, tag="bad")
+        with pytest.raises(SignatureError):
+            registry.require_valid(bad, digest)
+
+    def test_require_valid_passes(self, registry):
+        digest = stable_digest("payload")
+        registry.require_valid(registry.key_for(3).sign(digest), digest)
+
+
+class TestRegistry:
+    def test_distinct_secrets_per_validator(self, registry):
+        digest = stable_digest("same")
+        tags = {registry.key_for(v).sign(digest).tag for v in range(4)}
+        assert len(tags) == 4
+
+    def test_different_seeds_different_tags(self):
+        digest = stable_digest("same")
+        a = KeyRegistry(4, seed=1).key_for(0).sign(digest)
+        b = KeyRegistry(4, seed=2).key_for(0).sign(digest)
+        assert a.tag != b.tag
+
+    def test_unknown_validator_key_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.key_for(10)
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRegistry(0)
+
+    def test_key_matches_validator_id(self, registry):
+        assert registry.key_for(1).validator_id == 1

@@ -1,0 +1,129 @@
+"""Unit tests for the discrete-event simulator and time config."""
+
+import pytest
+
+from repro.sim.clock import TimeConfig
+from repro.sim.simulator import EventPriority, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, EventPriority.TIMER, lambda: order.append("b"))
+        sim.schedule(1, EventPriority.TIMER, lambda: order.append("a"))
+        sim.run_until(10)
+        assert order == ["a", "b"]
+
+    def test_priority_breaks_time_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3, EventPriority.TIMER, lambda: order.append("timer"))
+        sim.schedule(3, EventPriority.DELIVERY, lambda: order.append("delivery"))
+        sim.schedule(3, EventPriority.CONTROL, lambda: order.append("control"))
+        sim.run_until(3)
+        assert order == ["control", "delivery", "timer"]
+
+    def test_fifo_within_same_priority(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1, EventPriority.TIMER, lambda i=i: order.append(i))
+        sim.run_until(1)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_tracks_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4, EventPriority.TIMER, lambda: seen.append(sim.now))
+        sim.run_until(10)
+        assert seen == [4]
+        assert sim.now == 10
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2, EventPriority.TIMER, lambda: None)
+        sim.run_until(5)
+        with pytest.raises(ValueError):
+            sim.schedule(3, EventPriority.TIMER, lambda: None)
+
+    def test_schedule_in_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2, EventPriority.TIMER, lambda: sim.schedule_in(
+            3, EventPriority.TIMER, lambda: seen.append(sim.now)))
+        sim.run_until(10)
+        assert seen == [5]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.schedule(1, EventPriority.TIMER, lambda: hits.append(1))
+        Simulator.cancel(handle)
+        sim.run_until(5)
+        assert hits == []
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(sim.now, EventPriority.TIMER, lambda: order.append("nested"))
+
+        sim.schedule(1, EventPriority.TIMER, first)
+        sim.run_until(1)
+        assert order == ["first", "nested"]
+
+    def test_run_until_excludes_later_events(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(5, EventPriority.TIMER, lambda: hits.append(5))
+        sim.schedule(6, EventPriority.TIMER, lambda: hits.append(6))
+        sim.run_until(5)
+        assert hits == [5]
+        sim.run_until(6)
+        assert hits == [5, 6]
+
+    def test_run_to_exhaustion(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(100, EventPriority.TIMER, lambda: hits.append(1))
+        sim.run_to_exhaustion()
+        assert hits == [1]
+
+    def test_pending_count(self):
+        sim = Simulator()
+        a = sim.schedule(1, EventPriority.TIMER, lambda: None)
+        sim.schedule(2, EventPriority.TIMER, lambda: None)
+        assert sim.pending_count() == 2
+        Simulator.cancel(a)
+        assert sim.pending_count() == 1
+
+    def test_deterministic_rng(self):
+        assert Simulator(seed=5).rng.random() == Simulator(seed=5).rng.random()
+
+
+class TestTimeConfig:
+    def test_view_arithmetic(self):
+        time = TimeConfig(delta=4, view_length_deltas=4)
+        assert time.view_ticks == 16
+        assert time.view_start(3) == 48
+        assert time.view_of(47) == 2
+        assert time.view_of(48) == 3
+
+    def test_deltas_conversion(self):
+        time = TimeConfig(delta=4)
+        assert time.deltas(2.5) == 10
+        assert time.in_deltas(10) == 2.5
+
+    def test_fractional_ticks_rejected(self):
+        time = TimeConfig(delta=3)
+        with pytest.raises(ValueError):
+            time.deltas(0.5)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            TimeConfig(delta=0)
+        with pytest.raises(ValueError):
+            TimeConfig(delta=1, view_length_deltas=0)

@@ -1,0 +1,240 @@
+"""Unit tests for schedules, corruption, participation sets and compliance."""
+
+import random
+
+import pytest
+
+from repro.sleepy.compliance import check_compliance, max_tolerable_byzantine
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.participation import ParticipationModel
+from repro.sleepy.schedule import AwakeSchedule, Interval
+
+
+class TestInterval:
+    def test_contains(self):
+        iv = Interval(2, 5)
+        assert not iv.contains(1)
+        assert iv.contains(2) and iv.contains(4)
+        assert not iv.contains(5)  # half-open
+
+    def test_open_ended(self):
+        iv = Interval(3, None)
+        assert iv.contains(10**9)
+
+    def test_covers(self):
+        iv = Interval(2, 10)
+        assert iv.covers(2, 9)
+        assert not iv.covers(2, 10)
+        assert not iv.covers(1, 5)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 2)
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+
+
+class TestAwakeSchedule:
+    def test_always_awake(self):
+        schedule = AwakeSchedule.always_awake(3)
+        assert all(schedule.awake(v, t) for v in range(3) for t in (0, 100))
+
+    def test_awake_before_time_zero(self):
+        schedule = AwakeSchedule.from_intervals(2, {0: [(50, None)]})
+        assert schedule.awake(0, -1)  # H_t := V for t < 0
+        assert not schedule.awake(0, 10)
+        assert schedule.awake(0, 50)
+
+    def test_awake_throughout(self):
+        schedule = AwakeSchedule.from_intervals(1, {0: [(0, 10), (20, None)]})
+        assert schedule.awake_throughout(0, 0, 9)
+        assert not schedule.awake_throughout(0, 5, 25)
+        assert schedule.awake_throughout(0, 20, 100)
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            AwakeSchedule(1, {0: [Interval(0, 10), Interval(5, 15)]})
+
+    def test_transition_times(self):
+        schedule = AwakeSchedule.from_intervals(1, {0: [(5, 10)]})
+        transitions = list(schedule.transition_times(0, horizon=20))
+        assert transitions == [(0, False), (5, True), (10, False)]
+
+    def test_transition_times_awake_at_zero(self):
+        schedule = AwakeSchedule.from_intervals(1, {0: [(0, 10)]})
+        assert list(schedule.transition_times(0, horizon=20)) == [(10, False)]
+
+    def test_awake_set(self):
+        schedule = AwakeSchedule.from_intervals(3, {1: [(10, None)]})
+        assert schedule.awake_set(0) == {0, 2}
+        assert schedule.awake_set(10) == {0, 1, 2}
+
+    def test_late_joiner(self):
+        schedule = AwakeSchedule.late_joiner(3, joiner=2, join_time=40)
+        assert not schedule.awake(2, 39)
+        assert schedule.awake(2, 40)
+        assert schedule.awake(0, 0)
+
+    def test_nap(self):
+        schedule = AwakeSchedule.nap(2, sleeper=1, nap_start=10, nap_end=20)
+        assert schedule.awake(1, 9)
+        assert not schedule.awake(1, 15)
+        assert schedule.awake(1, 20)
+
+    def test_nap_from_zero(self):
+        schedule = AwakeSchedule.nap(2, sleeper=0, nap_start=0, nap_end=8)
+        assert not schedule.awake(0, 0)
+        assert schedule.awake(0, 8)
+
+    def test_random_churn_respects_min_lengths(self):
+        rng = random.Random(3)
+        schedule = AwakeSchedule.random_churn(
+            n=6, horizon=500, rng=rng, churners=[0, 1], min_awake=20, min_asleep=10
+        )
+        for vid in (0, 1):
+            for iv in schedule.intervals_for(vid):
+                if iv.end is not None:
+                    assert iv.end - iv.start >= 20
+        # Non-churners always awake.
+        assert schedule.intervals_for(2) == (Interval(0, None),)
+
+
+class TestCorruptionPlan:
+    def test_static(self):
+        plan = CorruptionPlan.static({1, 2})
+        assert plan.byzantine_at(0) == frozenset({1, 2})
+        assert plan.byzantine_at(-1) == frozenset()
+        assert plan.ever_byzantine() == frozenset({1, 2})
+
+    def test_scheduled_corruption_mildly_adaptive(self):
+        plan = CorruptionPlan.none().with_corruption(
+            scheduled_at=10, validator=3, delta=4, mildly_adaptive=True
+        )
+        assert 3 not in plan.byzantine_at(13)
+        assert 3 in plan.byzantine_at(14)
+
+    def test_scheduled_corruption_fully_adaptive(self):
+        plan = CorruptionPlan.none().with_corruption(
+            scheduled_at=10, validator=3, delta=4, mildly_adaptive=False
+        )
+        assert 3 in plan.byzantine_at(10)
+
+    def test_growing_adversary_monotone(self):
+        plan = CorruptionPlan.static({0}).with_corruption(5, 1, delta=2)
+        earlier = plan.byzantine_at(3)
+        later = plan.byzantine_at(100)
+        assert earlier <= later
+        assert plan.is_monotone()
+
+    def test_corruption_events_sorted(self):
+        plan = (
+            CorruptionPlan.none()
+            .with_corruption(20, 1, delta=1)
+            .with_corruption(5, 2, delta=1)
+        )
+        events = plan.corruption_events()
+        assert [c.validator for c in events] == [2, 1]
+
+
+class TestParticipation:
+    def make_model(self):
+        schedule = AwakeSchedule.from_intervals(4, {3: [(0, 10)]})
+        corruption = CorruptionPlan.static({0})
+        return ParticipationModel(schedule=schedule, corruption=corruption)
+
+    def test_honest_at_excludes_byzantine_and_asleep(self):
+        model = self.make_model()
+        assert model.honest_at(5) == frozenset({1, 2, 3})
+        assert model.honest_at(15) == frozenset({1, 2})  # 3 asleep
+
+    def test_honest_before_zero_is_everyone(self):
+        model = self.make_model()
+        assert model.honest_at(-1) == frozenset(range(4))
+
+    def test_honest_throughout(self):
+        model = self.make_model()
+        assert model.honest_throughout(0, 9) == frozenset({1, 2, 3})
+        assert model.honest_throughout(0, 10) == frozenset({1, 2})
+
+    def test_active_union(self):
+        model = self.make_model()
+        active = model.active_at(15, t_b=5, t_s=0)
+        assert active == frozenset({0, 1, 2})
+
+    def test_byzantine_fraction(self):
+        model = self.make_model()
+        assert model.byzantine_fraction(15, t_b=5, t_s=0) == pytest.approx(1 / 3)
+
+
+class TestCompliance:
+    def test_compliant_static_majority(self):
+        model = ParticipationModel(
+            schedule=AwakeSchedule.always_awake(7),
+            corruption=CorruptionPlan.static({5, 6}),
+        )
+        report = check_compliance(model, t_b=12, t_s=8, rho=0.5, horizon=100)
+        assert report.compliant
+        assert report.min_margin > 0
+
+    def test_violation_detected(self):
+        # 3 Byzantine of 6 active: |B| = 3 is NOT < 0.5 * 6 = 3.
+        model = ParticipationModel(
+            schedule=AwakeSchedule.always_awake(6),
+            corruption=CorruptionPlan.static({3, 4, 5}),
+        )
+        report = check_compliance(model, t_b=0, t_s=0, rho=0.5, horizon=10)
+        assert not report.compliant
+        assert report.first_violation().time == 0
+
+    def test_sleep_induced_violation(self):
+        # 2 of 5 Byzantine is fine while all awake, but if two honest nap,
+        # active = 3 honest-throughout + 2 Byzantine = 5... still fine;
+        # with three napping, active = 2 + 2 and |B| = 2 >= 2.
+        schedule = AwakeSchedule.from_intervals(
+            5, {0: [(0, 10), (30, None)], 1: [(0, 10), (30, None)], 2: [(0, 10), (30, None)]}
+        )
+        model = ParticipationModel(
+            schedule=schedule, corruption=CorruptionPlan.static({3, 4})
+        )
+        report = check_compliance(model, t_b=0, t_s=0, rho=0.5, horizon=40)
+        assert not report.compliant
+        assert any(v.time >= 10 for v in report.violations)
+
+    def test_backward_counting_catches_late_corruption(self):
+        # Corruptions effective at t=20 must already count at t=20-T_b:
+        # 4 Byzantine of 7 violates |B| < 3.5 from t=10 on, not just t=20.
+        plan = CorruptionPlan.none()
+        for vid in (3, 4, 5, 6):
+            plan = plan.with_corruption(16, vid, delta=4)
+        model = ParticipationModel(
+            schedule=AwakeSchedule.always_awake(7), corruption=plan
+        )
+        report = check_compliance(model, t_b=10, t_s=0, rho=0.5, horizon=30)
+        assert not report.compliant
+        assert report.first_violation().time == 10
+        # Without backward counting (T_b = 0) the violation appears at 20.
+        report_no_tb = check_compliance(model, t_b=0, t_s=0, rho=0.5, horizon=30)
+        assert report_no_tb.first_violation().time == 20
+
+    def test_invalid_rho_rejected(self):
+        model = ParticipationModel(
+            schedule=AwakeSchedule.always_awake(2), corruption=CorruptionPlan.none()
+        )
+        with pytest.raises(ValueError):
+            check_compliance(model, 0, 0, rho=0.6, horizon=1)
+        with pytest.raises(ValueError):
+            check_compliance(model, 0, 0, rho=0.0, horizon=1)
+
+
+class TestMaxTolerable:
+    @pytest.mark.parametrize(
+        "n,expected", [(2, 0), (3, 1), (4, 1), (5, 2), (10, 4), (11, 5), (100, 49)]
+    )
+    def test_half_resilience(self, n, expected):
+        assert max_tolerable_byzantine(n, rho=0.5) == expected
+
+    def test_strictness(self):
+        for n in range(2, 30):
+            f = max_tolerable_byzantine(n, rho=0.5)
+            assert f < 0.5 * n
+            assert f + 1 >= 0.5 * n

@@ -1,0 +1,119 @@
+"""Unit tests for LogView: the V / E / S handling rules of Section 3.3."""
+
+import pytest
+
+from repro.chain.log import Log
+from repro.core.state import HandleOutcome, LogView, pairs_extending
+from repro.crypto.signatures import KeyRegistry
+from repro.net.messages import Envelope, LogMessage, VoteMessage
+from tests.conftest import chain_of, fork_of
+
+REGISTRY = KeyRegistry(8, seed=1)
+GA_KEY = ("test", 0)
+
+
+def log_envelope(sender: int, log: Log) -> Envelope:
+    payload = LogMessage(ga_key=GA_KEY, log=log)
+    return Envelope(payload=payload, signature=REGISTRY.key_for(sender).sign(payload.digest()))
+
+
+class TestHandling:
+    def test_first_message_accepted_and_forwarded(self):
+        view = LogView()
+        outcome = view.handle(log_envelope(0, chain_of(1)))
+        assert outcome is HandleOutcome.ACCEPTED
+        assert outcome.should_forward
+        assert view.log_of(0) == chain_of(1)
+
+    def test_duplicate_not_forwarded(self):
+        view = LogView()
+        view.handle(log_envelope(0, chain_of(1)))
+        outcome = view.handle(log_envelope(0, chain_of(1)))
+        assert outcome is HandleOutcome.DUPLICATE
+        assert not outcome.should_forward
+
+    def test_second_different_log_is_equivocation(self):
+        view = LogView()
+        view.handle(log_envelope(0, chain_of(2, tag=1)))
+        outcome = view.handle(log_envelope(0, chain_of(2, tag=2)))
+        assert outcome is HandleOutcome.EQUIVOCATION
+        assert outcome.should_forward  # evidence must propagate
+        assert view.log_of(0) is None  # V(i) = bottom
+        assert 0 in view.equivocators()
+
+    def test_third_message_ignored(self):
+        view = LogView()
+        view.handle(log_envelope(0, chain_of(1, tag=1)))
+        view.handle(log_envelope(0, chain_of(1, tag=2)))
+        outcome = view.handle(log_envelope(0, chain_of(1, tag=3)))
+        assert outcome is HandleOutcome.IGNORED
+        assert not outcome.should_forward
+
+    def test_equivocation_evidence_retains_both_messages(self):
+        view = LogView()
+        first = log_envelope(0, chain_of(1, tag=1))
+        second = log_envelope(0, chain_of(1, tag=2))
+        view.handle(first)
+        view.handle(second)
+        evidence = view.evidence_for(0)
+        assert evidence.first == first
+        assert evidence.second == second
+        assert evidence.sender == 0
+
+    def test_compatible_but_different_logs_still_equivocation(self):
+        # Even a prefix/extension pair from one sender is an equivocation:
+        # the messages differ.
+        view = LogView()
+        log = chain_of(3)
+        view.handle(log_envelope(0, log.prefix(2)))
+        outcome = view.handle(log_envelope(0, log))
+        assert outcome is HandleOutcome.EQUIVOCATION
+
+    def test_rejects_non_log_payload(self):
+        view = LogView()
+        payload = VoteMessage(ga_key=GA_KEY, log=chain_of(1))
+        envelope = Envelope(
+            payload=payload, signature=REGISTRY.key_for(0).sign(payload.digest())
+        )
+        with pytest.raises(TypeError):
+            view.handle(envelope)
+
+
+class TestDerivedSets:
+    def test_senders_includes_equivocators(self):
+        view = LogView()
+        view.handle(log_envelope(0, chain_of(1, tag=1)))
+        view.handle(log_envelope(0, chain_of(1, tag=2)))
+        view.handle(log_envelope(1, chain_of(1, tag=1)))
+        assert view.senders() == frozenset({0, 1})
+        assert view.sender_count() == 2
+
+    def test_pairs_exclude_equivocators(self):
+        view = LogView()
+        view.handle(log_envelope(0, chain_of(1, tag=1)))
+        view.handle(log_envelope(0, chain_of(1, tag=2)))
+        view.handle(log_envelope(1, chain_of(1, tag=3)))
+        assert view.pairs() == frozenset({(1, chain_of(1, tag=3))})
+
+    def test_extensions_of(self):
+        view = LogView()
+        base = chain_of(2)
+        ext_a = fork_of(base, 1)
+        view.handle(log_envelope(0, ext_a))
+        view.handle(log_envelope(1, base))
+        view.handle(log_envelope(2, chain_of(2, tag=9)))
+        extensions = view.extensions_of(base)
+        assert {sender for sender, _log in extensions} == {0, 1}
+
+    def test_all_logs(self):
+        view = LogView()
+        view.handle(log_envelope(0, chain_of(1, tag=1)))
+        view.handle(log_envelope(1, chain_of(1, tag=1)))
+        view.handle(log_envelope(2, chain_of(1, tag=2)))
+        assert view.all_logs() == {chain_of(1, tag=1), chain_of(1, tag=2)}
+
+    def test_pairs_extending_helper(self):
+        base = chain_of(1)
+        pairs = {(0, fork_of(base, 1)), (1, chain_of(1, tag=7))}
+        kept = pairs_extending(pairs, base)
+        assert kept == frozenset({(0, fork_of(base, 1))})

@@ -1,0 +1,152 @@
+"""Unit tests: the analytic structure model reproduces the published Table 1."""
+
+import pytest
+
+from repro.analysis.table1 import build_model_rows, build_table1, render_table1
+from repro.baselines.structure import (
+    PAPER_TABLE1,
+    PROTOCOL_STRUCTURES,
+    TABLE1_ORDER,
+    structure_for,
+)
+
+
+class TestStructureLookup:
+    def test_all_six_protocols_present(self):
+        assert set(TABLE1_ORDER) == set(PROTOCOL_STRUCTURES)
+        assert len(TABLE1_ORDER) == 6
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            structure_for("nope")
+
+
+class TestAnalyticRowsMatchPaper:
+    """Every Table-1 cell the identities cover must match the paper exactly."""
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_resilience(self, name):
+        structure = structure_for(name)
+        fraction = f"{structure.resilience.numerator}/{structure.resilience.denominator}"
+        assert fraction == PAPER_TABLE1[name]["resilience"]
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_best_case_latency(self, name):
+        assert (
+            structure_for(name).best_case_latency_deltas
+            == PAPER_TABLE1[name]["best_case"]
+        )
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_expected_latency(self, name):
+        assert structure_for(name).expected_latency_deltas(0.5) == pytest.approx(
+            PAPER_TABLE1[name]["expected"]
+        )
+
+    @pytest.mark.parametrize("name", [n for n in TABLE1_ORDER if n != "mr"])
+    def test_transaction_expected_latency(self, name):
+        assert structure_for(name).transaction_expected_latency_deltas(0.5) == pytest.approx(
+            PAPER_TABLE1[name]["tx_expected"]
+        )
+
+    def test_mr_tx_expected_documented_discrepancy(self):
+        # The identity gives 40Δ; the paper reports 50.5Δ (MR's internal
+        # proposal cadence differs).  The descriptor carries the paper
+        # value verbatim; the model value must stay *below* it but far
+        # above every other protocol, preserving the ordering.
+        structure = structure_for("mr")
+        model = structure.transaction_expected_latency_deltas(0.5)
+        assert model == pytest.approx(40.0)
+        assert structure.paper_tx_expected_deltas == 50.5
+        others = [
+            structure_for(n).transaction_expected_latency_deltas(0.5)
+            for n in TABLE1_ORDER
+            if n != "mr"
+        ]
+        assert model > max(others)
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_voting_phases_best(self, name):
+        assert structure_for(name).voting_phases_best() == PAPER_TABLE1[name]["phases_best"]
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_voting_phases_expected(self, name):
+        assert structure_for(name).voting_phases_expected(0.5) == pytest.approx(
+            PAPER_TABLE1[name]["phases_expected"]
+        )
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_communication_complexity(self, name):
+        assert (
+            structure_for(name).communication_complexity()
+            == PAPER_TABLE1[name]["complexity"]
+        )
+
+
+class TestHeadlineClaims:
+    """The comparisons the paper's abstract/intro make, as assertions."""
+
+    def test_tobsvd_single_vote_in_best_case(self):
+        assert structure_for("tobsvd").voting_phases_best() == 1
+
+    def test_tobsvd_beats_all_half_resilient_rivals_on_expected_latency(self):
+        ours = structure_for("tobsvd").expected_latency_deltas(0.5)
+        for rival in ("mr", "mmr2", "gl"):
+            assert ours < structure_for(rival).expected_latency_deltas(0.5)
+
+    def test_tobsvd_slightly_worse_best_case_than_mmr2(self):
+        assert (
+            structure_for("tobsvd").best_case_latency_deltas
+            > structure_for("mmr2").best_case_latency_deltas
+        )
+
+    def test_lower_resilience_buys_lower_latency(self):
+        assert structure_for("mmr14").best_case_latency_deltas < structure_for(
+            "mmr13"
+        ).best_case_latency_deltas
+        assert structure_for("mmr13").resilience > structure_for("mmr14").resilience
+
+
+class TestExpectedFailureModel:
+    def test_geometric_identity(self):
+        structure = structure_for("tobsvd")
+        assert structure.expected_failures_per_block(0.5) == 1.0
+        assert structure.expected_failures_per_block(1.0) == 0.0
+        assert structure.expected_failures_per_block(0.25) == pytest.approx(3.0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            structure_for("tobsvd").expected_failures_per_block(0.0)
+
+
+class TestTable1Report:
+    def test_model_rows_cover_all_metrics(self):
+        rows = build_model_rows()
+        for name in TABLE1_ORDER:
+            assert set(rows[name]) == {
+                "resilience",
+                "best_case",
+                "expected",
+                "tx_expected",
+                "phases_best",
+                "phases_expected",
+                "complexity",
+            }
+
+    def test_shape_holds_for_every_numeric_metric(self):
+        report = build_table1()
+        for metric in ("best_case", "expected", "phases_best", "phases_expected"):
+            assert report.shape_holds(metric, source="model"), metric
+
+    def test_cell_lookup(self):
+        report = build_table1(measured={"tobsvd": {"best_case": 6.0}})
+        cell = report.cell("tobsvd", "best_case")
+        assert cell["paper"] == 6
+        assert cell["model"] == 6
+        assert cell["measured"] == 6.0
+
+    def test_render_contains_all_protocols(self):
+        text = render_table1(build_table1())
+        for name in TABLE1_ORDER:
+            assert PROTOCOL_STRUCTURES[name].display_name in text
+        assert "Best-case latency" in text

@@ -1,0 +1,47 @@
+"""Unit tests for the Figure-3 timeline regeneration."""
+
+import pytest
+
+from repro.analysis.timeline import check_view_alignment, render_timeline
+from repro.harness import stable_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return stable_scenario(n=6, num_views=5, delta=4, seed=0).run()
+
+
+class TestAlignment:
+    def test_interior_views_aligned(self, result):
+        for view in (1, 2, 3):
+            check = check_view_alignment(result, view)
+            assert check.proposals_at_tv
+            assert check.votes_at_tv_plus_delta
+            assert check.decisions_at_tv_plus_2delta
+            assert check.ga_grade0_at_next_view_start
+            assert check.aligned
+
+    def test_alignment_fails_for_empty_view(self, result):
+        # A view beyond the horizon has no events: nothing to align.
+        check = check_view_alignment(result, 99)
+        assert not check.aligned
+
+
+class TestRendering:
+    def test_render_marks_phases_and_ga_spans(self, result):
+        text = render_timeline(result, center_view=2)
+        assert "Propose" in text
+        assert "Vote" in text
+        assert "Decide" in text
+        for view in (1, 2, 3):
+            assert f"GA{view}:In" in text
+        assert "Out0" in text and "Out2" in text
+
+    def test_render_reports_alignment(self, result):
+        text = render_timeline(result, center_view=2)
+        assert "aligned" in text
+        assert "MISALIGNED" not in text
+
+    def test_render_shows_view_markers(self, result):
+        text = render_timeline(result, center_view=2)
+        assert "|t1" in text and "|t2" in text and "|t3" in text

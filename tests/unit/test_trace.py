@@ -1,0 +1,94 @@
+"""Unit tests for the Trace event log."""
+
+from repro.trace import (
+    ControlEvent,
+    DecisionEvent,
+    GaOutputEvent,
+    ProposalEvent,
+    Trace,
+    VotePhaseEvent,
+)
+from tests.conftest import chain_of, make_tx
+
+
+def _decision(time, validator, log, view=0):
+    return DecisionEvent(time=time, view=view, validator=validator, log=log)
+
+
+class TestEmission:
+    def test_all_event_kinds_append(self):
+        trace = Trace()
+        log = chain_of(1)
+        trace.emit_proposal(ProposalEvent(0, 0, 1, log, 0.5))
+        trace.emit_vote_phase(VotePhaseEvent(1, "p", 0, "vote", 1, log))
+        trace.emit_ga_output(GaOutputEvent(2, ("p", 0), 1, log, 0))
+        trace.emit_decision(_decision(3, 1, log))
+        trace.emit_control(ControlEvent(4, "wake", 1))
+        assert len(trace.proposals) == 1
+        assert len(trace.vote_phases) == 1
+        assert len(trace.ga_outputs) == 1
+        assert len(trace.decisions) == 1
+        assert len(trace.control) == 1
+
+
+class TestQueries:
+    def test_decisions_by_validator(self):
+        trace = Trace()
+        log = chain_of(1)
+        trace.emit_decision(_decision(1, 0, log))
+        trace.emit_decision(_decision(2, 0, log))
+        trace.emit_decision(_decision(1, 1, log))
+        grouped = trace.decisions_by_validator()
+        assert len(grouped[0]) == 2
+        assert len(grouped[1]) == 1
+
+    def test_highest_decision_per_validator(self):
+        trace = Trace()
+        long = chain_of(3)
+        trace.emit_decision(_decision(1, 0, long.prefix(2)))
+        trace.emit_decision(_decision(2, 0, long))
+        trace.emit_decision(_decision(3, 0, long.prefix(1)))
+        assert trace.highest_decision_per_validator()[0] == long
+
+    def test_proposals_in_view(self):
+        trace = Trace()
+        log = chain_of(1)
+        trace.emit_proposal(ProposalEvent(0, 0, 1, log, 0.1))
+        trace.emit_proposal(ProposalEvent(0, 1, 2, log, 0.2))
+        assert len(trace.proposals_in_view(0)) == 1
+        assert len(trace.proposals_in_view(1)) == 1
+        assert trace.proposals_in_view(2) == []
+
+    def test_vote_phase_times_deduplicated_and_filtered(self):
+        trace = Trace()
+        log = chain_of(1)
+        for validator in range(3):
+            trace.emit_vote_phase(VotePhaseEvent(8, "a", 0, "vote", validator, log))
+        trace.emit_vote_phase(VotePhaseEvent(16, "a", 1, "vote", 0, log))
+        trace.emit_vote_phase(VotePhaseEvent(8, "b", 0, "vote", 0, log))
+        assert trace.vote_phase_times("a") == [8, 16]
+        assert trace.vote_phase_times("b") == [8]
+
+    def test_iter_decisions_sorted(self):
+        trace = Trace()
+        log = chain_of(1)
+        trace.emit_decision(_decision(5, 1, log))
+        trace.emit_decision(_decision(3, 2, log))
+        trace.emit_decision(_decision(3, 0, log))
+        ordered = list(trace.iter_decisions_sorted())
+        assert [(e.time, e.validator) for e in ordered] == [(3, 0), (3, 2), (5, 1)]
+
+    def test_first_decision_containing(self, genesis):
+        trace = Trace()
+        tx = make_tx(5)
+        with_tx = genesis.append_block([tx], proposer=0, view=0)
+        trace.emit_decision(_decision(10, 0, genesis))
+        trace.emit_decision(_decision(20, 0, with_tx))
+        trace.emit_decision(_decision(15, 1, with_tx))
+        event = trace.first_decision_containing(tx)
+        assert event.time == 15
+
+    def test_first_decision_containing_missing(self):
+        trace = Trace()
+        trace.emit_decision(_decision(1, 0, chain_of(1)))
+        assert trace.first_decision_containing(make_tx(99)) is None

@@ -1,0 +1,77 @@
+"""Unit tests for the transaction pool and validity predicates."""
+
+from repro.chain.transactions import (
+    ConfirmationRecord,
+    TransactionPool,
+    always_valid,
+    bounded_payload_validity,
+)
+from tests.conftest import make_tx
+
+
+class TestPool:
+    def test_submit_assigns_increasing_ids(self):
+        pool = TransactionPool()
+        txs = [pool.submit() for _ in range(3)]
+        assert [tx.tx_id for tx in txs] == [0, 1, 2]
+
+    def test_submit_records_time(self):
+        pool = TransactionPool()
+        assert pool.submit(at_time=17).submitted_at == 17
+
+    def test_submit_many(self):
+        pool = TransactionPool()
+        txs = pool.submit_many(5, at_time=3)
+        assert len(txs) == 5 and len(pool) == 5
+        assert all(tx.submitted_at == 3 for tx in txs)
+
+    def test_valid_transactions_visibility_cutoff_is_strict(self):
+        pool = TransactionPool()
+        pool.submit(at_time=10)
+        assert pool.valid_transactions(before=10) == []
+        assert len(pool.valid_transactions(before=11)) == 1
+
+    def test_valid_transactions_no_cutoff(self):
+        pool = TransactionPool()
+        pool.submit_many(4)
+        assert len(pool.valid_transactions()) == 4
+
+    def test_invalid_transactions_filtered(self):
+        pool = TransactionPool(validity=bounded_payload_validity(3))
+        ok = pool.submit(payload="ok")
+        pool.submit(payload="too-long-payload")
+        assert pool.valid_transactions() == [ok]
+
+    def test_pending_for_excludes_included(self):
+        pool = TransactionPool()
+        a = pool.submit(at_time=0)
+        b = pool.submit(at_time=0)
+        assert pool.pending_for([a], before=1) == [b]
+
+    def test_is_valid_delegates_to_predicate(self):
+        pool = TransactionPool(validity=bounded_payload_validity(1))
+        assert pool.is_valid(make_tx(1, payload="x"))
+        assert not pool.is_valid(make_tx(2, payload="xy"))
+
+    def test_always_valid(self):
+        assert always_valid(make_tx(0, payload="anything" * 100))
+
+
+class TestConfirmationRecord:
+    def test_first_confirmation_none_when_empty(self):
+        record = ConfirmationRecord(transaction=make_tx(1, at=5))
+        assert record.first_confirmation() is None
+        assert record.confirmation_time() is None
+
+    def test_records_first_time_only(self):
+        record = ConfirmationRecord(transaction=make_tx(1, at=5))
+        record.record(validator_id=0, time=20)
+        record.record(validator_id=0, time=30)  # ignored
+        assert record.confirmed_at[0] == 20
+
+    def test_confirmation_time_relative_to_submission(self):
+        record = ConfirmationRecord(transaction=make_tx(1, at=5))
+        record.record(validator_id=1, time=25)
+        record.record(validator_id=2, time=21)
+        assert record.first_confirmation() == 21
+        assert record.confirmation_time() == 16

@@ -1,0 +1,77 @@
+"""Unit tests for the simulated VRF."""
+
+import pytest
+
+from repro.crypto.vrf import VRF, VrfOutput
+
+
+@pytest.fixture
+def vrf() -> VRF:
+    return VRF(seed=11)
+
+
+class TestEvaluation:
+    def test_deterministic(self, vrf):
+        assert vrf.evaluate(3, 5) == vrf.evaluate(3, 5)
+
+    def test_varies_with_validator(self, vrf):
+        assert vrf.evaluate(0, 1).value != vrf.evaluate(1, 1).value
+
+    def test_varies_with_view(self, vrf):
+        assert vrf.evaluate(0, 1).value != vrf.evaluate(0, 2).value
+
+    def test_varies_with_seed(self):
+        assert VRF(seed=1).evaluate(0, 0).value != VRF(seed=2).evaluate(0, 0).value
+
+    def test_value_in_unit_interval(self, vrf):
+        for vid in range(20):
+            assert 0.0 <= vrf.evaluate(vid, 0).value < 1.0
+
+
+class TestVerification:
+    def test_genuine_output_verifies(self, vrf):
+        assert vrf.verify(vrf.evaluate(2, 4))
+
+    def test_inflated_value_rejected(self, vrf):
+        out = vrf.evaluate(2, 4)
+        forged = VrfOutput(validator_id=2, view=4, value=0.999999, proof=out.proof)
+        assert not vrf.verify(forged)
+
+    def test_stolen_proof_rejected(self, vrf):
+        out = vrf.evaluate(2, 4)
+        stolen = VrfOutput(validator_id=3, view=4, value=out.value, proof=out.proof)
+        assert not vrf.verify(stolen)
+
+    def test_wrong_view_rejected(self, vrf):
+        out = vrf.evaluate(2, 4)
+        moved = VrfOutput(validator_id=2, view=5, value=out.value, proof=out.proof)
+        assert not vrf.verify(moved)
+
+
+class TestRanking:
+    def test_best_matches_ranking_head(self, vrf):
+        ids = list(range(10))
+        assert vrf.best(ids, view=3) == vrf.leader_ranking(ids, view=3)[0]
+
+    def test_ranking_sorted_descending(self, vrf):
+        ranking = vrf.leader_ranking(list(range(10)), view=0)
+        values = [out.value for out in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_best_of_singleton(self, vrf):
+        assert vrf.best([4], view=7).validator_id == 4
+
+    def test_best_of_empty_raises(self, vrf):
+        with pytest.raises(ValueError):
+            vrf.best([], view=0)
+
+    def test_leader_rotates_across_views(self, vrf):
+        ids = list(range(8))
+        leaders = {vrf.best(ids, view=v).validator_id for v in range(40)}
+        assert len(leaders) > 3  # leadership is not stuck on one validator
+
+    def test_sort_key_tiebreak_is_total(self, vrf):
+        a = VrfOutput(0, 0, 0.5, "p")
+        b = VrfOutput(1, 0, 0.5, "q")
+        assert a.sort_key() != b.sort_key()
+        assert max([a, b], key=VrfOutput.sort_key) == a  # lower id wins ties
