@@ -38,6 +38,17 @@ class TestLogOps:
         assert benchmark(lambda: a.conflicts_with(b))
 
 
+    def test_all_prefixes_shared(self, benchmark):
+        log = chain_of(50)
+        result = benchmark(lambda: list(log.all_prefixes()))
+        assert len(result) == 51
+
+    def test_contains_transaction(self, benchmark):
+        log = chain_of(50)
+        tx = make_tx(25, payload="c0-25")
+        assert benchmark(lambda: log.contains_transaction(tx))
+
+
 class TestQuorumOps:
     def test_majority_chain_64_senders(self, benchmark):
         log = chain_of(8)

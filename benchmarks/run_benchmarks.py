@@ -1,0 +1,279 @@
+"""Machine-readable benchmark entry point.
+
+Runs the micro-benchmark operations (the same hot ops as
+``bench_micro.py``) plus a small end-to-end / Table-1 group, and writes a
+JSON report mapping ``op -> ops/sec``.  Unlike ``bench_micro.py`` this
+harness has no pytest dependency, so it can run anywhere and its output
+can be diffed across commits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --out BENCH.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke   # quick sanity pass
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --out BENCH_PR1.json --baseline bench_seed.json
+
+With ``--baseline`` the report embeds the baseline numbers as ``before``,
+the fresh numbers as ``after``, and per-op speedups, which is how the
+committed ``BENCH_PR<k>.json`` files are produced (see PERFORMANCE.md).
+``--smoke`` runs every op once with minimal repetitions — it checks the
+benchmark suite itself still works (suitable for tier-1/CI) without
+producing statistically meaningful numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable
+
+
+def _build_ops() -> dict[str, Callable[[], object]]:
+    """Construct the benchmark operations over the public API.
+
+    Imports live inside the function so ``--help`` works without
+    PYTHONPATH, and so the op set stays identical across commits.
+    """
+
+    from repro.chain.log import Log
+    from repro.chain.transactions import Transaction
+    from repro.core.quorum import majority_chain
+    from repro.core.state import LogView
+    from repro.crypto.hashing import stable_digest
+    from repro.crypto.signatures import KeyRegistry
+    from repro.crypto.vrf import VRF
+    from repro.harness import stable_scenario
+    from repro.net.messages import Envelope, LogMessage
+    from repro.sim.simulator import EventPriority, Simulator
+
+    def make_tx(tx_id: int, payload: str = "") -> Transaction:
+        return Transaction(tx_id=tx_id, payload=payload, submitted_at=0)
+
+    def chain_of(length: int, tag: int = 0) -> Log:
+        log = Log.genesis()
+        for i in range(length):
+            log = log.append_block(
+                [make_tx(1000 * tag + i, payload=f"c{tag}-{i}")], proposer=0, view=i
+            )
+        return log
+
+    registry = KeyRegistry(64, seed=0)
+
+    log10 = chain_of(10)
+    log50 = chain_of(50)
+    prefix25 = log50.prefix(25)
+    base20 = chain_of(20)
+    fork_a = base20.append_block([make_tx(1)], 0, 0)
+    fork_b = base20.append_block([make_tx(2)], 1, 0)
+
+    log8 = chain_of(8)
+    uniform_pairs = frozenset((vid, log8) for vid in range(64))
+    base4 = chain_of(4)
+    split_a = base4.append_block([make_tx(1)], 0, 0)
+    split_b = base4.append_block([make_tx(2)], 1, 0)
+    split_pairs = frozenset(
+        (vid, split_a if vid % 2 else split_b) for vid in range(64)
+    )
+
+    log3 = chain_of(3)
+    envelopes = []
+    for vid in range(64):
+        payload = LogMessage(ga_key=("m", 0), log=log3)
+        envelopes.append(
+            Envelope(payload=payload, signature=registry.key_for(vid).sign(payload.digest()))
+        )
+
+    key0 = registry.key_for(0)
+    digest2 = LogMessage(ga_key=("m", 0), log=chain_of(2)).digest()
+    vrf = VRF(seed=1)
+    vrf_ids = list(range(64))
+
+    def op_append_block():
+        return log10.append_block([make_tx(1)], proposer=0, view=0)
+
+    def op_prefix_check():
+        return prefix25.prefix_of(log50)
+
+    def op_conflict_check():
+        return fork_a.conflicts_with(fork_b)
+
+    def op_log_construct_50():
+        return Log(log50.blocks)
+
+    def op_all_prefixes_50():
+        return list(log50.all_prefixes())
+
+    def op_contains_tx():
+        return log50.contains_transaction(make_tx(25, payload="c0-25"))
+
+    def op_majority_uniform():
+        return majority_chain(uniform_pairs, 64)
+
+    def op_majority_split():
+        return majority_chain(split_pairs, 64)
+
+    def op_handle_64():
+        view = LogView()
+        for envelope in envelopes:
+            view.handle(envelope)
+        return view.sender_count()
+
+    def op_pairs_snapshot():
+        view = LogView()
+        for envelope in envelopes[:16]:
+            view.handle(envelope)
+        return [view.pairs() for _ in range(16)]
+
+    def op_stable_digest_flat():
+        return stable_digest(("sig", "a" * 64, "b" * 64))
+
+    def op_sign_verify():
+        return registry.verify(key0.sign(digest2), digest2)
+
+    def op_payload_digest():
+        return LogMessage(ga_key=("m", 0), log=log3).digest()
+
+    def op_vrf_rank():
+        return vrf.best(vrf_ids, view=5)
+
+    def op_event_dispatch():
+        sim = Simulator()
+        counter = [0]
+        for t in range(1000):
+            sim.schedule(t, EventPriority.TIMER, lambda: counter.__setitem__(0, counter[0] + 1))
+        sim.run_until(1000)
+        return counter[0]
+
+    def op_full_view_n8():
+        protocol = stable_scenario(n=8, num_views=2, delta=2, seed=0)
+        result = protocol.run()
+        return len(result.trace.decisions)
+
+    def op_stable_n16_views4():
+        protocol = stable_scenario(n=16, num_views=4, delta=2, seed=0)
+        result = protocol.run()
+        return len(result.trace.decisions)
+
+    return {
+        "log.append_block": op_append_block,
+        "log.prefix_check_long_chain": op_prefix_check,
+        "log.conflict_check": op_conflict_check,
+        "log.construct_len50": op_log_construct_50,
+        "log.all_prefixes_len50": op_all_prefixes_50,
+        "log.contains_transaction_len50": op_contains_tx,
+        "quorum.majority_chain_64_senders": op_majority_uniform,
+        "quorum.majority_chain_split": op_majority_split,
+        "state.handle_64_log_messages": op_handle_64,
+        "state.pairs_snapshot_x16": op_pairs_snapshot,
+        "crypto.stable_digest_flat_tuple": op_stable_digest_flat,
+        "crypto.sign_and_verify": op_sign_verify,
+        "crypto.payload_digest": op_payload_digest,
+        "crypto.vrf_ranking_64": op_vrf_rank,
+        "sim.event_dispatch_1000": op_event_dispatch,
+        "e2e.full_view_n8": op_full_view_n8,
+        "table1.stable_n16_views4": op_stable_n16_views4,
+    }
+
+
+def _measure(fn: Callable[[], object], target_seconds: float, repeats: int) -> float:
+    """Return ops/sec: calibrate a rep count, then take the best of ``repeats``."""
+
+    reps = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= target_seconds / 4 or reps >= 1_000_000:
+            break
+        reps = min(reps * 4, 1_000_000)
+    best = elapsed / reps
+    for _ in range(repeats - 1):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / reps)
+    return 1.0 / best if best > 0 else float("inf")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="a prior report; embeds before/after/speedup into the output",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single quick pass per op (sanity only, suitable for CI)",
+    )
+    parser.add_argument(
+        "--only", default=None, help="substring filter on op names"
+    )
+    args = parser.parse_args(argv)
+
+    target = 0.02 if args.smoke else 0.2
+    repeats = 1 if args.smoke else 3
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    ops = _build_ops()
+    if args.only:
+        ops = {name: fn for name, fn in ops.items() if args.only in name}
+        if not ops:
+            print(f"error: --only {args.only!r} matches no ops", file=sys.stderr)
+            return 2
+
+    results: dict[str, float] = {}
+    for name, fn in ops.items():
+        ops_per_sec = _measure(fn, target_seconds=target, repeats=repeats)
+        results[name] = round(ops_per_sec, 2)
+        print(f"{name:40s} {ops_per_sec:>14,.1f} ops/sec", flush=True)
+
+    report: dict = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "smoke": args.smoke,
+        },
+        "results": results,
+    }
+
+    if baseline is not None:
+        before = baseline.get("results", baseline)
+        speedup = {
+            name: round(results[name] / before[name], 2)
+            for name in results
+            if name in before and before[name]
+        }
+        report["before"] = before
+        report["after"] = results
+        report["speedup"] = speedup
+        print("\nspeedup vs baseline:")
+        for name, factor in speedup.items():
+            print(f"  {name:38s} {factor:>8.2f}x")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

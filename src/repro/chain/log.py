@@ -11,6 +11,25 @@ A log is a finite sequence of blocks ``[b_1, ..., b_k]``.  Given two logs
 
 Every log in this repository extends the genesis log, mirroring the paper's
 assumption about :math:`\\Lambda_g`.
+
+Performance notes (see PERFORMANCE.md).  Logs form append-only lineages —
+``append_block`` links each child to its parent — and the module exploits
+that three ways:
+
+* **Prefix sharing** — each log lazily builds a per-log cache of its
+  strict prefixes (reusing its ancestors' caches), so ``prefix()`` /
+  ``all_prefixes()`` / ``common_prefix`` return shared ``Log`` objects in
+  O(1) amortised instead of constructing and re-hashing new ones.  The
+  cache follows parent links only, never a global table: block ids hash
+  transaction *ids*, so equal-id logs from different simulation runs may
+  carry distinct :class:`Transaction` objects and must not be conflated;
+* **Incremental log ids** — each log carries the canonical byte encoding
+  of its block-id sequence, so a child's ``log_id`` derives from the
+  parent's bytes plus one tip id.  The resulting digests are
+  byte-identical to hashing the full sequence from scratch;
+* **Trusted slices** — prefixes of a validated log and single-block
+  extensions skip parent-link re-validation (a contiguous slice of a
+  valid chain is valid by construction).
 """
 
 from __future__ import annotations
@@ -21,14 +40,23 @@ from typing import Iterable, Iterator, Sequence
 from repro.chain.block import Block
 from repro.chain.genesis import GENESIS_BLOCK
 from repro.chain.transactions import Transaction
-from repro.crypto.hashing import stable_digest
+from repro.crypto.hashing import canonical_str, digest_tagged_strings
 
 
 @total_ordering
 class Log:
     """An immutable, hashable sequence of blocks rooted at genesis."""
 
-    __slots__ = ("_blocks", "_log_id", "_hash")
+    __slots__ = (
+        "_blocks",
+        "_log_id",
+        "_hash",
+        "_ids_inner",
+        "_parent",
+        "_prefixes",
+        "_tx_tuple",
+        "_tx_set",
+    )
 
     def __init__(self, blocks: Sequence[Block]) -> None:
         blocks = tuple(blocks)
@@ -41,9 +69,41 @@ class Log:
                 raise ValueError(
                     f"broken parent link: {child!r} does not extend {parent!r}"
                 )
+        self._finish_init(
+            blocks, b"".join(canonical_str(b.block_id) for b in blocks), None
+        )
+
+    def _finish_init(
+        self, blocks: tuple[Block, ...], ids_inner: bytes, parent: "Log | None"
+    ) -> None:
         self._blocks = blocks
-        self._log_id = stable_digest(("log", tuple(b.block_id for b in blocks)))
+        self._ids_inner = ids_inner
+        self._log_id = digest_tagged_strings("log", ids_inner, len(blocks))
         self._hash = hash(self._log_id)
+        self._parent = parent
+        self._prefixes: list[Log] | None = None
+        self._tx_tuple: tuple[Transaction, ...] | None = None
+        self._tx_set: frozenset[Transaction] | None = None
+
+    @classmethod
+    def _trusted(
+        cls, blocks: tuple[Block, ...], parent: "Log | None" = None
+    ) -> "Log":
+        """Build a log from blocks already known to form a valid chain.
+
+        ``parent`` (when given) must be the log of ``blocks[:-1]``; its
+        cached byte encoding then makes the id derivation O(1) in the
+        chain length, and the parent link feeds the shared prefix cache.
+        """
+
+        log = object.__new__(cls)
+        if parent is not None and len(parent._blocks) == len(blocks) - 1:
+            ids_inner = parent._ids_inner + canonical_str(blocks[-1].block_id)
+        else:
+            ids_inner = b"".join(canonical_str(b.block_id) for b in blocks)
+            parent = None
+        log._finish_init(blocks, ids_inner, parent)
+        return log
 
     # -- construction -----------------------------------------------------
 
@@ -51,7 +111,7 @@ class Log:
     def genesis(cls) -> "Log":
         """The genesis log :math:`\\Lambda_g`."""
 
-        return cls((GENESIS_BLOCK,))
+        return cls._trusted((GENESIS_BLOCK,))
 
     def append_block(
         self,
@@ -67,14 +127,59 @@ class Log:
             proposer=proposer,
             view=view,
         )
-        return Log(self._blocks + (block,))
+        return Log._trusted(self._blocks + (block,), parent=self)
 
     def prefix(self, length: int) -> "Log":
-        """The prefix of this log with ``length`` blocks."""
+        """The prefix of this log with ``length`` blocks (shared instance)."""
 
         if not 1 <= length <= len(self._blocks):
             raise ValueError(f"invalid prefix length {length}")
-        return Log(self._blocks[:length])
+        if length == len(self._blocks):
+            return self
+        return self._strict_prefixes()[length - 1]
+
+    def _strict_prefixes(self) -> list["Log"]:
+        """``[prefix(1), ..., prefix(len-1)]``, cached on the queried log.
+
+        Built by walking parent links to the nearest ancestor with a
+        cache; a log with no parent link (constructed from raw blocks)
+        materialises its prefixes once from block slices.  Only the
+        queried log (and a materialised raw root) keeps the list —
+        caching it on every intermediate ancestor would pin O(n^2) list
+        entries across a chain of length n.  The walk itself is pointer
+        chasing, no hashing or construction.
+        """
+
+        cached = self._prefixes
+        if cached is not None:
+            return cached
+        stack: list[Log] = []
+        node = self._parent
+        while node is not None and node._prefixes is None:
+            stack.append(node)
+            node = node._parent
+        if node is not None:
+            prefixes = node._prefixes + [node]
+        elif stack:
+            root = stack.pop()  # deepest walked ancestor, no parent link
+            base: list[Log] = []
+            prev: Log | None = None
+            for length in range(1, len(root._blocks)):
+                prev = Log._trusted(root._blocks[:length], parent=prev)
+                base.append(prev)
+            root._prefixes = base
+            prefixes = base + [root]
+        else:
+            prefixes = []
+            prev = None
+            for length in range(1, len(self._blocks)):
+                prev = Log._trusted(self._blocks[:length], parent=prev)
+                prefixes.append(prev)
+            self._prefixes = prefixes
+            return prefixes
+        prefixes.extend(reversed(stack))
+        self._prefixes = prefixes
+        return prefixes
 
     # -- basic accessors ---------------------------------------------------
 
@@ -151,37 +256,57 @@ class Log:
     def transactions(self) -> list[Transaction]:
         """All transactions in the log, in order."""
 
-        return [tx for block in self._blocks for tx in block.transactions]
+        cached = self._tx_tuple
+        if cached is None:
+            cached = tuple(
+                tx for block in self._blocks for tx in block.transactions
+            )
+            self._tx_tuple = cached
+        return list(cached)
 
     def contains_transaction(self, tx: Transaction) -> bool:
         """True iff some block of the log includes ``tx``."""
 
-        return any(tx in block.transactions for block in self._blocks)
+        cached = self._tx_set
+        if cached is None:
+            cached = frozenset(
+                tx for block in self._blocks for tx in block.transactions
+            )
+            self._tx_set = cached
+        return tx in cached
 
     def proper_prefixes(self) -> Iterator["Log"]:
         """All strict prefixes, shortest first."""
 
-        for length in range(1, len(self._blocks)):
-            yield Log(self._blocks[:length])
+        if len(self._blocks) > 1:
+            yield from self._strict_prefixes()
 
     def all_prefixes(self) -> Iterator["Log"]:
         """All prefixes including the log itself, shortest first."""
 
-        for length in range(1, len(self._blocks) + 1):
-            yield Log(self._blocks[:length])
+        if len(self._blocks) > 1:
+            yield from self._strict_prefixes()
+        yield self
 
 
 def common_prefix(a: Log, b: Log) -> Log:
     """The longest common prefix of two logs (at least the genesis log)."""
 
-    limit = min(len(a), len(b))
-    best = 1
-    for i in range(limit):
-        if a.blocks[i] == b.blocks[i]:
-            best = i + 1
+    if a.prefix_of(b):
+        return a
+    if b.prefix_of(a):
+        return b
+    # The logs conflict: binary-search the divergence point.  Equality of
+    # the blocks at position k implies equality of the whole prefix (parent
+    # links), so "blocks match at k" is monotone in k.
+    lo, hi = 1, min(len(a), len(b)) - 1  # genesis always matches
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if a.blocks[mid - 1] == b.blocks[mid - 1]:
+            lo = mid
         else:
-            break
-    return Log(a.blocks[:best])
+            hi = mid - 1
+    return a.prefix(lo)
 
 
 def highest(logs: Iterable[Log]) -> Log | None:

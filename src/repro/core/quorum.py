@@ -54,12 +54,54 @@ def majority_chain(pairs: Iterable[Pair], sender_count: int) -> list[Log]:
     Returns:
         The (possibly empty) chain of logs ``Λ`` with
         ``|V_Λ| > sender_count / 2``.  Compatible by construction.
+
+    A prefix is determined by its boundary block (parent links), so support
+    is counted per boundary block id — no prefix ``Log`` objects are built
+    while counting.  Only the logs that actually clear the threshold are
+    materialised, as shared interned prefixes of a supporting log.
     """
 
     pair_list = list(pairs)
     if not pair_list or sender_count <= 0:
         return []
-    # Count, for every prefix of every recorded log, its supporting senders.
+    # Distinct logs first: quorum snapshots are dominated by many senders
+    # reporting the same log, which collapses to one chain walk each.
+    by_log: dict[Log, set[int]] = {}
+    for sender, log in pair_list:
+        senders = by_log.get(log)
+        if senders is None:
+            by_log[log] = {sender}
+        else:
+            senders.add(sender)
+    # boundary block id -> (height, a log containing it, supporting senders)
+    support: dict[str, tuple[int, Log, set[int]]] = {}
+    for log, senders in by_log.items():
+        for height, block in enumerate(log.blocks, start=1):
+            entry = support.get(block.block_id)
+            if entry is None:
+                support[block.block_id] = (height, log, set(senders))
+            else:
+                entry[2].update(senders)
+    chain = [
+        (height, rep)
+        for height, rep, senders in support.values()
+        if meets_quorum(len(senders), sender_count)
+    ]
+    chain.sort(key=lambda item: item[0])
+    return [rep.prefix(height) for height, rep in chain]
+
+
+def majority_chain_naive(pairs: Iterable[Pair], sender_count: int) -> list[Log]:
+    """Reference implementation of :func:`majority_chain` (prefix-set based).
+
+    Kept as the oracle for randomised property tests: it materialises every
+    prefix of every reported log and counts supporters per prefix ``Log``,
+    exactly as the fast path did before the tip-indexed rewrite.
+    """
+
+    pair_list = list(pairs)
+    if not pair_list or sender_count <= 0:
+        return []
     supporters: dict[Log, set[int]] = defaultdict(set)
     for sender, log in pair_list:
         for prefix in log.all_prefixes():

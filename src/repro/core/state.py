@@ -67,6 +67,7 @@ class LogView:
         self._v_envelopes: dict[int, Envelope] = {}
         self._equivocators: dict[int, EquivocationEvidence] = {}
         self._senders: set[int] = set()  # S: everyone who sent >= 1 LOG
+        self._pairs_cache: Snapshot | None = None  # memoised pairs() snapshot
 
     # -- message handling ---------------------------------------------------
 
@@ -83,6 +84,7 @@ class LogView:
         if sender not in self._v:
             self._v[sender] = payload.log
             self._v_envelopes[sender] = envelope
+            self._pairs_cache = None
             return HandleOutcome.ACCEPTED
         if self._v[sender] == payload.log:
             return HandleOutcome.DUPLICATE
@@ -92,6 +94,7 @@ class LogView:
         del self._v[sender]
         del self._v_envelopes[sender]
         self._equivocators[sender] = evidence
+        self._pairs_cache = None
         return HandleOutcome.EQUIVOCATION
 
     # -- the paper's accessors ------------------------------------------------
@@ -105,10 +108,16 @@ class LogView:
         """The current ``V`` as a frozen set of (sender, log) pairs.
 
         This is the object the time-shifted quorum technique snapshots at
-        Delta marks: ``V^Δ``, ``V^2Δ`` etc.
+        Delta marks: ``V^Δ``, ``V^2Δ`` etc.  The snapshot is cached and
+        invalidated whenever ``V`` mutates, so repeated reads (one per
+        output phase and snapshot mark) share one frozenset.
         """
 
-        return frozenset(self._v.items())
+        cached = self._pairs_cache
+        if cached is None:
+            cached = frozenset(self._v.items())
+            self._pairs_cache = cached
+        return cached
 
     def senders(self) -> frozenset[int]:
         """``S``: every sender of at least one LOG message."""

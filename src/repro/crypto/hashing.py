@@ -40,10 +40,58 @@ def _canonical(obj: Any) -> bytes:
     raise TypeError(f"stable_digest cannot canonicalise {type(obj).__name__}")
 
 
+def _flat_tuple_bytes(obj: tuple) -> bytes | None:
+    """Canonical bytes for a flat tuple of str/int items, or None.
+
+    Single-pass encoder for the overwhelmingly common shape of hashed
+    content (signature tags, message digests, block/log ids).  Produces
+    byte-identical output to :func:`_canonical`; anything else — bools,
+    floats, nesting — falls back to the general encoder.
+    """
+
+    parts = [b"T%d(" % len(obj)]
+    append = parts.append
+    for item in obj:
+        kind = type(item)
+        if kind is str:
+            data = item.encode()
+            append(b"S%d:%s" % (len(data), data))
+        elif kind is int:  # bool is excluded: type(True) is bool, not int
+            append(b"I%d" % item)
+        else:
+            return None
+    append(b")")
+    return b"".join(parts)
+
+
 def stable_digest(obj: Any) -> str:
     """Return a hex digest of ``obj``'s canonical encoding."""
 
+    if type(obj) is tuple:
+        data = _flat_tuple_bytes(obj)
+        if data is not None:
+            return hashlib.sha256(data).hexdigest()
     return hashlib.sha256(_canonical(obj)).hexdigest()
+
+
+def canonical_str(s: str) -> bytes:
+    """The canonical encoding of one string (for incremental hashers)."""
+
+    data = s.encode()
+    return b"S%d:%s" % (len(data), data)
+
+
+def digest_tagged_strings(tag: str, inner: bytes, count: int) -> str:
+    """``stable_digest((tag, (s_1, ..., s_count)))`` from precomputed parts.
+
+    ``inner`` must be the concatenation of ``canonical_str(s_i)`` for the
+    ``count`` strings.  Callers that extend a sequence one element at a
+    time (chain log ids) keep ``inner`` incrementally and avoid re-encoding
+    the whole sequence; the digest is byte-identical to the generic path.
+    """
+
+    body = b"T2(" + canonical_str(tag) + b"T%d(" % count + inner + b"))"
+    return hashlib.sha256(body).hexdigest()
 
 
 def digest_to_unit_float(digest: str) -> float:

@@ -74,6 +74,14 @@ class KeyRegistry:
         self._secrets = {
             vid: stable_digest(("secret", seed, vid)) for vid in range(n)
         }
+        # (signer, payload_digest) -> expected tag.  The expected tag is a
+        # pure function of the registry's secret and the digest, so repeated
+        # verifications of the same content (every broadcast re-verifies the
+        # sender's envelope) skip the MAC recomputation.  Bounded: cleared
+        # wholesale if it ever grows past _TAG_CACHE_LIMIT entries.
+        self._tag_cache: dict[tuple[int, str], str] = {}
+
+    _TAG_CACHE_LIMIT = 65536
 
     @property
     def n(self) -> int:
@@ -94,7 +102,13 @@ class KeyRegistry:
             return False
         if signature.payload_digest != payload_digest:
             return False
-        expected = stable_digest(("sig", secret, payload_digest))
+        cache_key = (signature.signer, payload_digest)
+        expected = self._tag_cache.get(cache_key)
+        if expected is None:
+            expected = stable_digest(("sig", secret, payload_digest))
+            if len(self._tag_cache) >= self._TAG_CACHE_LIMIT:
+                self._tag_cache.clear()
+            self._tag_cache[cache_key] = expected
         return signature.tag == expected
 
     def require_valid(self, signature: Signature, payload_digest: str) -> None:

@@ -22,8 +22,29 @@ from repro.crypto.signatures import Signature
 from repro.crypto.vrf import VrfOutput
 
 
+class _DigestCache:
+    """Memoise ``digest()`` on frozen payloads.
+
+    Payloads are immutable (frozen dataclasses over immutable fields), so
+    the content digest can be computed once and pinned on the instance.
+    Signing, signature verification and dedup all reuse the cached value.
+    The cache attribute is not a dataclass field, so ``__eq__``/``repr``
+    are unaffected.
+    """
+
+    __slots__ = ()
+
+    def digest(self) -> str:
+        try:
+            return self._digest  # type: ignore[attr-defined]
+        except AttributeError:
+            digest = self._compute_digest()
+            object.__setattr__(self, "_digest", digest)
+            return digest
+
+
 @dataclass(frozen=True)
-class LogMessage:
+class LogMessage(_DigestCache):
     """``<LOG, Lambda>`` scoped to one GA instance.
 
     Attributes:
@@ -35,37 +56,37 @@ class LogMessage:
     ga_key: tuple
     log: Log
 
-    def digest(self) -> str:
+    def _compute_digest(self) -> str:
         return stable_digest(("LOG", tuple(self.ga_key), self.log.log_id))
 
 
 @dataclass(frozen=True)
-class ProposalMessage:
+class ProposalMessage(_DigestCache):
     """A view proposal: a log extension plus the proposer's VRF output."""
 
     view: int
     log: Log
     vrf: VrfOutput
 
-    def digest(self) -> str:
+    def _compute_digest(self) -> str:
         return stable_digest(
             ("PROPOSAL", self.view, self.log.log_id, self.vrf.proof)
         )
 
 
 @dataclass(frozen=True)
-class VoteMessage:
+class VoteMessage(_DigestCache):
     """A ``VOTE`` for a log, used by the Momose-Ren GA (Section 4)."""
 
     ga_key: tuple
     log: Log
 
-    def digest(self) -> str:
+    def _compute_digest(self) -> str:
         return stable_digest(("VOTE", tuple(self.ga_key), self.log.log_id))
 
 
 @dataclass(frozen=True)
-class StructuralVote:
+class StructuralVote(_DigestCache):
     """A per-phase vote used by the structural baseline simulators.
 
     Attributes:
@@ -80,14 +101,14 @@ class StructuralVote:
     phase_index: int
     log: Log
 
-    def digest(self) -> str:
+    def _compute_digest(self) -> str:
         return stable_digest(
             ("SVOTE", self.protocol, self.view, self.phase_index, self.log.log_id)
         )
 
 
 @dataclass(frozen=True)
-class RecoveryMessage:
+class RecoveryMessage(_DigestCache):
     """A wake-up RECOVERY request (Section 2's recovery discussion).
 
     The paper leaves recovery out of scope; we model the request so the
@@ -97,7 +118,7 @@ class RecoveryMessage:
 
     requested_at: int
 
-    def digest(self) -> str:
+    def _compute_digest(self) -> str:
         return stable_digest(("RECOVERY", self.requested_at))
 
 
@@ -123,7 +144,14 @@ class Envelope:
 
     @property
     def envelope_id(self) -> str:
-        return stable_digest(("env", self.payload.digest(), self.signature.signer))
+        try:
+            return self._envelope_id  # type: ignore[attr-defined]
+        except AttributeError:
+            envelope_id = stable_digest(
+                ("env", self.payload.digest(), self.signature.signer)
+            )
+            object.__setattr__(self, "_envelope_id", envelope_id)
+            return envelope_id
 
     def size_units(self) -> int:
         """Message size proxy in "block" units (L in Table 1's complexity).

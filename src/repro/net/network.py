@@ -126,18 +126,24 @@ class Network:
         self.stats.sends += 1
         sender = envelope.sender
         now = self._sim.now
+        # Recipients before and after the sender form two contiguous
+        # scheduling segments: the sender's synchronous self-delivery may
+        # itself schedule events (forwards), so each segment is flushed in
+        # place to keep the global (time, priority, seq) order identical to
+        # scheduling every recipient individually.
+        groups: dict[int, list[int]] = {}
         for vid in self._nodes:
             if vid == sender:
+                if groups:
+                    self._flush_groups(now, sender, envelope, groups)
+                    groups = {}
                 self._deliver(vid, envelope)
                 continue
             delay = self._policy.delay(sender, vid, envelope, now)
             delay = max(0, min(delay, self._delta))
-            self._sim.schedule(
-                now + delay,
-                EventPriority.DELIVERY,
-                lambda v=vid, e=envelope: self._deliver(v, e),
-                note=f"deliver to v{vid}",
-            )
+            groups.setdefault(delay, []).append(vid)
+        if groups:
+            self._flush_groups(now, sender, envelope, groups)
 
     def forward(self, forwarder_id: int, envelope: Envelope) -> None:
         """Re-broadcast a received envelope on behalf of ``forwarder_id``.
@@ -150,17 +156,15 @@ class Network:
 
         self.stats.sends += 1
         now = self._sim.now
+        groups: dict[int, list[int]] = {}
         for vid in self._nodes:
             if vid == forwarder_id or vid == envelope.sender:
                 continue
             delay = self._policy.delay(forwarder_id, vid, envelope, now)
             delay = max(0, min(delay, self._delta))
-            self._sim.schedule(
-                now + delay,
-                EventPriority.DELIVERY,
-                lambda v=vid, e=envelope: self._deliver(v, e),
-                note=f"forward to v{vid}",
-            )
+            groups.setdefault(delay, []).append(vid)
+        if groups:
+            self._flush_groups(now, forwarder_id, envelope, groups)
 
     def send_direct(self, envelope: Envelope, recipient: int, delay: int) -> None:
         """Byzantine-only: a targeted send with an explicit delay.
@@ -181,6 +185,28 @@ class Network:
         )
 
     # -- delivery ----------------------------------------------------------
+
+    def _flush_groups(
+        self, now: int, origin: int, envelope: Envelope, groups: dict[int, list[int]]
+    ) -> None:
+        """Schedule one batched delivery event per distinct delay.
+
+        Within a delay group recipients are visited in registration order —
+        the same order individual per-recipient events would have executed
+        in, since their sequence numbers would have been consecutive.
+        """
+
+        for delay, vids in groups.items():
+            self._sim.schedule(
+                now + delay,
+                EventPriority.DELIVERY,
+                lambda r=tuple(vids), e=envelope: self._deliver_many(r, e),
+                note=f"deliver x{len(vids)} from v{origin}",
+            )
+
+    def _deliver_many(self, recipients: tuple[int, ...], envelope: Envelope) -> None:
+        for vid in recipients:
+            self._deliver(vid, envelope)
 
     def _deliver(self, recipient: int, envelope: Envelope) -> None:
         node = self._nodes[recipient]
@@ -211,4 +237,7 @@ class Network:
         return len(buffered)
 
     def pending_count(self, recipient: int) -> int:
-        return len(self._pending.get(recipient, []))
+        """Messages buffered for one asleep validator (O(1))."""
+
+        pending = self._pending.get(recipient)
+        return len(pending) if pending else 0

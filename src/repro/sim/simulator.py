@@ -1,17 +1,22 @@
 """The event queue at the heart of every experiment.
 
 The simulator is deliberately minimal: a priority queue of
-``(time, priority, seq, callback)`` entries and a run loop.  Determinism is
+``(time, priority, seq, event)`` entries and a run loop.  Determinism is
 a hard requirement — every experiment in EXPERIMENTS.md is reproducible
 from its seed — so the only tie-breakers are the explicit priority class
 and a monotonically increasing sequence number.
+
+Heap entries are plain tuples: comparisons stay in C (the unique ``seq``
+guarantees the trailing :class:`ScheduledEvent` handle is never compared),
+and the handle itself is a ``__slots__`` object rather than an
+``order=True`` dataclass, which keeps per-event allocation small on the
+broadcast hot path.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Callable
 
@@ -31,27 +36,45 @@ class EventPriority(IntEnum):
     ANALYSIS = 3
 
 
-@dataclass(order=True)
 class ScheduledEvent:
-    """Internal queue entry."""
+    """Cancellable handle for one queued callback."""
 
-    time: int
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    note: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "note", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        note: str,
+        sim: "Simulator",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.note = note
+        self.cancelled = False
+        self._sim = sim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = " cancelled" if self.cancelled else ""
+        return f"ScheduledEvent(t={self.time},p={self.priority},#{self.seq}{flag})"
 
 
 class Simulator:
     """Deterministic discrete-event scheduler with integer time."""
 
     def __init__(self, seed: int = 0) -> None:
-        self._queue: list[ScheduledEvent] = []
+        # heap of (time, priority, seq, event); seq is unique, so tuple
+        # comparison never reaches the event object.
+        self._queue: list[tuple[int, int, int, ScheduledEvent]] = []
         self._seq = 0
         self._now = 0
         self._running = False
         self._events_processed = 0
+        self._live = 0  # queued events that are not cancelled
         self.rng = random.Random(seed)
 
     @property
@@ -77,15 +100,11 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        event = ScheduledEvent(
-            time=time,
-            priority=int(priority),
-            seq=self._seq,
-            callback=callback,
-            note=note,
-        )
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, int(priority), seq, callback, note, self)
+        heapq.heappush(self._queue, (time, event.priority, seq, event))
+        self._live += 1
         return event
 
     def schedule_in(
@@ -101,9 +120,16 @@ class Simulator:
 
     @staticmethod
     def cancel(event: ScheduledEvent) -> None:
-        """Cancel a scheduled event (lazy removal)."""
+        """Cancel a scheduled event (lazy removal from the heap).
 
-        event.cancelled = True
+        A no-op on events that already ran (``_sim`` is cleared on pop) or
+        were already cancelled, so the live pending counter stays exact.
+        """
+
+        sim = event._sim
+        if sim is not None and not event.cancelled:
+            event.cancelled = True
+            sim._live -= 1
 
     def run_until(self, end_time: int) -> None:
         """Process every event scheduled strictly before or at ``end_time``.
@@ -115,11 +141,14 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is not re-entrant")
         self._running = True
+        queue = self._queue
         try:
-            while self._queue and self._queue[0].time <= end_time:
-                event = heapq.heappop(self._queue)
+            while queue and queue[0][0] <= end_time:
+                event = heapq.heappop(queue)[3]
                 if event.cancelled:
                     continue
+                event._sim = None  # executed: late cancel() becomes a no-op
+                self._live -= 1
                 self._now = event.time
                 self._events_processed += 1
                 event.callback()
@@ -133,12 +162,15 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is not re-entrant")
         self._running = True
+        queue = self._queue
         processed = 0
         try:
-            while self._queue:
-                event = heapq.heappop(self._queue)
+            while queue:
+                event = heapq.heappop(queue)[3]
                 if event.cancelled:
                     continue
+                event._sim = None  # executed: late cancel() becomes a no-op
+                self._live -= 1
                 self._now = event.time
                 self._events_processed += 1
                 event.callback()
@@ -149,6 +181,6 @@ class Simulator:
             self._running = False
 
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled queued events (diagnostic)."""
+        """Number of not-yet-cancelled queued events (live counter, O(1))."""
 
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._live

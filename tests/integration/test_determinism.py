@@ -1,0 +1,68 @@
+"""Determinism regression tests protecting the hot-path/event-core rewrites.
+
+Two guards:
+
+* run the same seeded scenario twice in one process and require identical
+  decision traces (catches accidental dependence on object identity,
+  iteration order, or cross-run cache leakage);
+* compare against the decision trace recorded from the seed revision
+  (``tests/data/seed_trace_n8_v4.json``), requiring times, views,
+  validators, log ids and tip block ids to be byte-identical — any change
+  to event ordering, digest derivation, or quorum arithmetic shows up
+  here.
+"""
+
+import json
+from pathlib import Path
+
+from repro.harness import stable_scenario
+
+FIXTURE = Path(__file__).resolve().parent.parent / "data" / "seed_trace_n8_v4.json"
+
+
+def decision_tuples(trace):
+    return [
+        (e.time, e.view, e.validator, e.log.log_id, len(e.log), e.log.tip.block_id)
+        for e in trace.decisions
+    ]
+
+
+def run_fixture_scenario():
+    params = json.loads(FIXTURE.read_text())["scenario"]
+    protocol = stable_scenario(
+        n=params["n"],
+        num_views=params["num_views"],
+        delta=params["delta"],
+        seed=params["seed"],
+    )
+    return protocol.run()
+
+
+class TestDeterminism:
+    def test_same_seed_same_decision_trace(self):
+        first = decision_tuples(run_fixture_scenario().trace)
+        second = decision_tuples(run_fixture_scenario().trace)
+        assert first == second
+        assert first, "scenario produced no decisions"
+
+    def test_matches_recorded_seed_trace(self):
+        recorded = json.loads(FIXTURE.read_text())["decisions"]
+        want = [
+            (
+                d["time"],
+                d["view"],
+                d["validator"],
+                d["log_id"],
+                d["length"],
+                d["tip_block_id"],
+            )
+            for d in recorded
+        ]
+        assert decision_tuples(run_fixture_scenario().trace) == want
+
+    def test_different_seeds_may_share_structure_but_run_independently(self):
+        # Sanity check that per-run state is isolated: running a different
+        # configuration in between must not perturb the fixture scenario.
+        baseline = decision_tuples(run_fixture_scenario().trace)
+        stable_scenario(n=6, num_views=3, delta=2, seed=9).run()
+        assert decision_tuples(run_fixture_scenario().trace) == baseline
