@@ -18,10 +18,10 @@ from repro.analysis.complexity import classify_complexity, fit_exponent
 from repro.analysis.table1 import build_table1, render_table1
 from repro.baselines.structure import PAPER_TABLE1, TABLE1_ORDER, structure_for
 from repro.harness.runner import (
+    measure_all_structural,
     measure_best_case_latency,
     measure_expected_latency,
     measure_structural_message_scaling,
-    measure_structural_protocol,
     measure_tobsvd_message_scaling,
     measure_transaction_expected_latency,
     measure_voting_phases,
@@ -46,10 +46,7 @@ def _normalise_expected(best: float, view_len: float, failure_rate: float,
 
 @pytest.fixture(scope="module")
 def structural_rows():
-    return {
-        name: measure_structural_protocol(name, n=10, f=4, num_views_adversarial=16)
-        for name in BASELINES
-    }
+    return measure_all_structural(n=10, f=4, num_views_adversarial=16)
 
 
 class TestTable1:

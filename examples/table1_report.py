@@ -1,52 +1,23 @@
 #!/usr/bin/env python3
 """Regenerate the paper's Table 1: paper vs analytic model vs measured.
 
-Runs the full measurement suite (real TOB-SVD simulations plus the
-structural baseline simulators) and prints the three-way comparison.
-Takes ~20 seconds.
+A thin wrapper over the shared measurement driver
+(:func:`repro.harness.runner.collect_table1_measurements`) — the same code
+path as ``python -m repro table1``.  Runs the full measurement suite (real
+TOB-SVD simulations plus the structural baseline simulators) and prints
+the three-way comparison.  Takes ~20 seconds (``--smoke`` for a few).
 
-Run:  python examples/table1_report.py
+Run:  PYTHONPATH=src python examples/table1_report.py [--smoke]
 """
 
+import sys
+
 from repro.analysis.table1 import build_table1, render_table1
-from repro.baselines.structure import TABLE1_ORDER
-from repro.harness.runner import (
-    measure_best_case_latency,
-    measure_expected_latency,
-    measure_structural_protocol,
-    measure_voting_phases,
-)
+from repro.harness.runner import collect_table1_measurements
 
 
-def main() -> None:
-    print("measuring TOB-SVD (real protocol)...")
-    best = measure_best_case_latency(n=8, delta=4)
-    expected = measure_expected_latency(n=10, f=4, num_views=16, delta=2, seeds=(0, 1))
-    phases_best = measure_voting_phases(n=10, f=0, num_views=10, delta=2)
-    phases_exp = measure_voting_phases(n=10, f=4, num_views=16, delta=2)
-
-    measured = {
-        "tobsvd": {
-            "best_case": best.min_deltas,
-            "expected": round(expected.mean_deltas, 2),
-            "phases_best": phases_best,
-            "phases_expected": round(phases_exp, 2) if phases_exp else None,
-        }
-    }
-
-    for name in TABLE1_ORDER:
-        if name == "tobsvd":
-            continue
-        print(f"measuring {name} (structural simulator)...")
-        row = measure_structural_protocol(name, n=10, f=4, num_views_adversarial=16)
-        measured[name] = {
-            "best_case": row.best_case_deltas,
-            "expected": round(row.expected_deltas, 2),
-            "tx_expected": round(row.tx_expected_deltas, 2),
-            "phases_best": row.phases_best,
-            "phases_expected": round(row.phases_expected, 2) if row.phases_expected else None,
-        }
-
+def main(smoke: bool = False) -> None:
+    measured = collect_table1_measurements(smoke=smoke, progress=print)
     report = build_table1(measured=measured)
     print()
     print(render_table1(report))
@@ -62,4 +33,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(smoke="--smoke" in sys.argv[1:])

@@ -1,4 +1,17 @@
-"""Wall-clock latency under signature-aggregation accounting (Section 1).
+"""Result aggregation: sweep roll-ups and aggregation-priced latencies.
+
+Two jobs live here:
+
+* **Sweep aggregation** — collapse the per-cell JSONL records of
+  :mod:`repro.harness.sweep` over the seed axis into one row per grid
+  point, and render those rows as CSV or Markdown.  Everything is
+  deterministic: rows sort by grid coordinates and floats format through
+  one shared function, so the rendered output is byte-identical for any
+  execution order or worker count.
+* **Signature-aggregation pricing** — the Section-1 latency accounting
+  (below).
+
+Wall-clock latency under signature-aggregation accounting (Section 1).
 
 The paper's practical motivation: "these protocols often require a
 signature aggregation process where messages are first sent to
@@ -20,7 +33,159 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from statistics import mean
+
 from repro.baselines.structure import PROTOCOL_STRUCTURES, ProtocolStructure, TABLE1_ORDER
+
+# ---------------------------------------------------------------------------
+# Sweep roll-ups
+# ---------------------------------------------------------------------------
+
+#: The cell axes a sweep row is keyed by — every coordinate but the seed,
+#: so records from different specs / run lengths never merge into one row.
+SWEEP_GROUP_KEYS = (
+    "protocol", "n", "f", "delta", "attacker", "participation",
+    "num_views", "txs_per_cell", "spec_name",
+)
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One grid point's metrics, aggregated over its seed axis."""
+
+    protocol: str
+    n: int
+    f: int
+    delta: int
+    attacker: str
+    participation: str
+    num_views: int
+    txs_per_cell: int
+    spec_name: str
+    cells: int
+    errors: int
+    safe_all: bool
+    blocks_mean: float | None
+    view_failure_rate_mean: float | None
+    latency_mean_deltas: float | None
+    latency_min_deltas: float | None
+    latency_max_deltas: float | None
+    phases_per_block_mean: float | None
+    weighted_deliveries_mean: float | None
+
+
+def _mean_or_none(values: list[float]) -> float | None:
+    return round(mean(values), 6) if values else None
+
+
+def aggregate_sweep(records: list[dict]) -> list[SweepRow]:
+    """Collapse sweep records over seeds into sorted :class:`SweepRow`\\ s.
+
+    ``records`` are the JSONL dicts a :class:`repro.harness.sweep.
+    ResultStore` loads.  Error cells count toward ``errors`` but
+    contribute no metrics.  Rows come back sorted by grid coordinates, so
+    the aggregation of a given record *set* is unique — the property the
+    serial-vs-parallel byte-identity contract rests on.
+    """
+
+    groups: dict[tuple, list[dict]] = {}
+    for record in records:
+        cell = record.get("cell", {})
+        key = tuple(cell.get(k) for k in SWEEP_GROUP_KEYS)
+        groups.setdefault(key, []).append(record)
+
+    def order(key: tuple) -> tuple:
+        # Type-aware per-part ordering (numbers numerically, strings
+        # lexically, None last) so n=10 does not sort before n=6.
+        return tuple(
+            (2, "") if part is None
+            else (1, part) if isinstance(part, (int, float)) and not isinstance(part, bool)
+            else (0, str(part))
+            for part in key
+        )
+
+    rows: list[SweepRow] = []
+    for key in sorted(groups, key=order):
+        batch = groups[key]
+        ok = [r["metrics"] for r in batch if r.get("status") == "ok"]
+        coords = dict(zip(SWEEP_GROUP_KEYS, key))
+        rows.append(
+            SweepRow(
+                **coords,
+                cells=len(batch),
+                errors=len(batch) - len(ok),
+                safe_all=all(m.get("safe", False) for m in ok) if ok else False,
+                blocks_mean=_mean_or_none([m["blocks"] for m in ok]),
+                view_failure_rate_mean=_mean_or_none(
+                    [m["view_failure_rate"] for m in ok]
+                ),
+                latency_mean_deltas=_mean_or_none(
+                    [m["latency_mean_deltas"] for m in ok if m["latency_mean_deltas"] is not None]
+                ),
+                latency_min_deltas=_mean_or_none(
+                    [m["latency_min_deltas"] for m in ok if m["latency_min_deltas"] is not None]
+                ),
+                latency_max_deltas=_mean_or_none(
+                    [m["latency_max_deltas"] for m in ok if m["latency_max_deltas"] is not None]
+                ),
+                phases_per_block_mean=_mean_or_none(
+                    [m["phases_per_block"] for m in ok if m["phases_per_block"] is not None]
+                ),
+                weighted_deliveries_mean=_mean_or_none(
+                    [m["weighted_deliveries"] for m in ok]
+                ),
+            )
+        )
+    return rows
+
+
+_SWEEP_COLUMNS = (
+    "protocol", "n", "f", "delta", "attacker", "participation",
+    "num_views", "txs_per_cell", "spec_name",
+    "cells", "errors", "safe_all", "blocks_mean", "view_failure_rate_mean",
+    "latency_mean_deltas", "latency_min_deltas", "latency_max_deltas",
+    "phases_per_block_mean", "weighted_deliveries_mean",
+)
+
+
+def _sweep_cell_text(value: object) -> str:
+    """One shared scalar formatter = one shared byte representation."""
+
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_sweep_csv(rows: list[SweepRow]) -> str:
+    """The sweep roll-up as CSV (header + one line per grid point)."""
+
+    lines = [",".join(_SWEEP_COLUMNS)]
+    for row in rows:
+        lines.append(
+            ",".join(_sweep_cell_text(getattr(row, col)) for col in _SWEEP_COLUMNS)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_sweep_markdown(rows: list[SweepRow]) -> str:
+    """The sweep roll-up as a GitHub-flavoured Markdown table."""
+
+    header = "| " + " | ".join(_SWEEP_COLUMNS) + " |"
+    rule = "|" + "|".join(" --- " for _ in _SWEEP_COLUMNS) + "|"
+    lines = [header, rule]
+    for row in rows:
+        cells = (_sweep_cell_text(getattr(row, col)) or "-" for col in _SWEEP_COLUMNS)
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Signature-aggregation pricing (Section 1)
+# ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,305 @@
+"""The ``python -m repro`` command line.
+
+Four subcommands front the experiment subsystem:
+
+* ``sweep`` — expand a declarative experiment grid (inline flags or a
+  JSON spec file) and execute it on a worker pool with resume support;
+* ``table1`` — regenerate the paper's Table 1 (paper vs analytic model
+  vs measured), ``--smoke`` for a seconds-long CI variant;
+* ``scenario`` — run one named scenario family and print its summary;
+* ``bench`` — the machine-readable micro/e2e benchmark harness
+  (delegates to ``benchmarks/run_benchmarks.py``).
+
+Every command is deterministic given its arguments; none reads the
+wall clock or ambient RNG state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.aggregation import (
+    aggregate_sweep,
+    render_sweep_csv,
+    render_sweep_markdown,
+)
+from repro.harness.sweep import (
+    ATTACKERS,
+    PARTICIPATIONS,
+    ExperimentSpec,
+    ResultStore,
+    run_sweep,
+)
+
+
+def _parse_list(text: str, cast: Callable = str) -> tuple:
+    """Split a comma-separated flag value into a tuple of ``cast`` items."""
+
+    return tuple(cast(part.strip()) for part in text.split(",") if part.strip())
+
+
+# ---------------------------------------------------------------------------
+# sweep
+# ---------------------------------------------------------------------------
+
+
+def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Build the spec from ``--spec FILE`` or inline grid flags."""
+
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as fh:
+            return ExperimentSpec.from_dict(json.load(fh))
+    return ExperimentSpec(
+        name=args.name,
+        protocols=_parse_list(args.protocols),
+        ns=_parse_list(args.n, int),
+        fs=_parse_list(args.f, int),
+        deltas=_parse_list(args.delta, int),
+        attackers=_parse_list(args.attacker),
+        participations=_parse_list(args.participation),
+        seeds=args.seeds,
+        num_views=args.views,
+        txs_per_cell=args.txs,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    store = ResultStore(args.out)
+    if args.list_cells:
+        for cell in spec.expand():
+            print(f"{cell.cell_id}  {cell.canonical_key}")
+        return 0
+
+    def progress(record: dict) -> None:
+        cell = record["cell"]
+        status = record["status"]
+        tag = "" if status == "ok" else f"  [{status}: {record['error']}]"
+        print(
+            f"  {record['cell_id']}  {cell['protocol']:>6s} n={cell['n']:<3d} "
+            f"f={cell['f']} Δ={cell['delta']} {cell['participation']:>9s} "
+            f"seed={cell['seed_index']}{tag}",
+            flush=True,
+        )
+
+    outcome = run_sweep(spec, store=store, workers=args.workers, progress=progress)
+    print(
+        f"sweep '{spec.name}': {outcome.total_cells} cells, "
+        f"{outcome.executed} executed, {outcome.skipped} resumed-skip"
+    )
+    rows = aggregate_sweep(outcome.sorted_records())
+    if args.csv:
+        Path(args.csv).write_text(render_sweep_csv(rows), encoding="utf-8")
+        print(f"wrote {args.csv}")
+    if args.markdown:
+        Path(args.markdown).write_text(render_sweep_markdown(rows), encoding="utf-8")
+        print(f"wrote {args.markdown}")
+    if not args.quiet:
+        print()
+        print(render_sweep_markdown(rows), end="")
+    errors = sum(row.errors for row in rows)
+    unsafe = [row for row in rows if row.cells > row.errors and not row.safe_all]
+    if unsafe:
+        print(f"UNSAFE rows: {len(unsafe)}", file=sys.stderr)
+        return 1
+    if errors:
+        print(f"note: {errors} error cells (see {args.out})", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# table1
+# ---------------------------------------------------------------------------
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.table1 import build_table1, render_table1
+    from repro.harness.runner import collect_table1_measurements
+
+    measured = collect_table1_measurements(smoke=args.smoke, progress=print)
+    report = build_table1(measured=measured)
+    print()
+    print(render_table1(report))
+    failures = [
+        metric
+        for metric in ("best_case", "expected", "phases_best", "phases_expected")
+        if not report.shape_holds(metric, source="model")
+    ]
+    if failures:
+        print(f"shape check FAILED on: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("shape check passed: protocol ordering matches the paper on every metric.")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# scenario
+# ---------------------------------------------------------------------------
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import check_safety, count_new_blocks, voting_phases_per_block
+    from repro.chain.transactions import TransactionPool
+    from repro.harness import scenarios
+
+    pool = TransactionPool()
+    common = dict(
+        n=args.n, num_views=args.views, delta=args.delta, seed=args.seed, pool=pool
+    )
+    if args.family == "stable":
+        protocol = scenarios.stable_scenario(**common)
+    elif args.family == "equivocating":
+        protocol = scenarios.equivocating_scenario(
+            f=args.f, attacker=args.attacker, **common
+        )
+    elif args.family == "churn":
+        protocol = scenarios.churn_scenario(**common)
+    elif args.family == "late-join":
+        protocol = scenarios.late_join_scenario(**common)
+    else:  # bursty
+        protocol = scenarios.bursty_churn_scenario(**common)
+
+    view_ticks = protocol.config.time.view_ticks
+    txs = [
+        pool.submit(payload=f"scn-{view}", at_time=view * view_ticks - 1)
+        for view in range(1, max(2, args.views - 3))
+    ]
+    result = protocol.run()
+    from repro.analysis.latency import confirmation_times_deltas
+
+    confirmed = confirmation_times_deltas(result.trace, txs, args.delta)
+    blocks = count_new_blocks(result.trace)
+    phases = voting_phases_per_block(result.trace, "tobsvd")
+    # Only the equivocating family actually corrupts validators; echoing
+    # f for the all-honest families would mislabel the run.
+    byz = f"f={args.f} " if args.family == "equivocating" else ""
+    print(f"scenario {args.family}: n={args.n} {byz}Δ={args.delta} "
+          f"views={args.views} seed={args.seed}")
+    print(f"  safety holds:          {check_safety(result.trace).safe}")
+    print(f"  decided blocks:        {blocks}/{args.views}")
+    print(f"  phases per block:      {phases}")
+    print(f"  confirmed txs:         {len(confirmed)}/{len(txs)}")
+    if confirmed:
+        from statistics import mean
+
+        print(f"  latency mean/min/max:  {mean(confirmed):.2f}Δ / "
+              f"{min(confirmed):.2f}Δ / {max(confirmed):.2f}Δ")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+
+def _find_benchmarks_driver() -> Path | None:
+    """Locate ``benchmarks/run_benchmarks.py`` (cwd first, then repo root)."""
+
+    candidates = [
+        Path.cwd() / "benchmarks" / "run_benchmarks.py",
+        Path(__file__).resolve().parents[2] / "benchmarks" / "run_benchmarks.py",
+    ]
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _cmd_bench(bench_args: list[str]) -> int:
+    """Forward ``bench_args`` verbatim to the benchmark driver's ``main``."""
+
+    import importlib.util
+
+    driver = _find_benchmarks_driver()
+    if driver is None:
+        print("error: benchmarks/run_benchmarks.py not found (run from the repo root)",
+              file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location("repro_bench_driver", driver)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main(bench_args)
+
+
+# ---------------------------------------------------------------------------
+# parser wiring
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` argument parser."""
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TOB-SVD reproduction experiment toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="run a declarative experiment grid")
+    sweep.add_argument("--spec", default=None, help="JSON spec file (overrides grid flags)")
+    sweep.add_argument("--name", default="sweep", help="spec name (cell-id namespace)")
+    sweep.add_argument("--protocols", default="tobsvd",
+                       help="comma list: tobsvd,mr,mmr2,gl,mmr13")
+    sweep.add_argument("--n", default="8", help="comma list of validator counts")
+    sweep.add_argument("--f", default="0", help="comma list of Byzantine counts")
+    sweep.add_argument("--delta", default="2", help="comma list of Δ values (ticks)")
+    sweep.add_argument("--attacker", default="equivocating-proposer",
+                       help=f"comma list from {ATTACKERS}")
+    sweep.add_argument("--participation", default="stable",
+                       help=f"comma list from {PARTICIPATIONS}")
+    sweep.add_argument("--seeds", type=int, default=1, help="seeds per grid point")
+    sweep.add_argument("--views", type=int, default=8, help="views per run")
+    sweep.add_argument("--txs", type=int, default=8, help="transactions per cell")
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes")
+    sweep.add_argument("--out", default="sweep_results.jsonl",
+                       help="append-only JSONL result store (resume source)")
+    sweep.add_argument("--csv", default=None, help="write aggregate CSV here")
+    sweep.add_argument("--markdown", default=None, help="write aggregate Markdown here")
+    sweep.add_argument("--quiet", action="store_true", help="suppress the aggregate table")
+    sweep.add_argument("--list-cells", action="store_true",
+                       help="print the expanded grid and exit")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--smoke", action="store_true",
+                        help="shrunk runs (seconds, CI-suitable)")
+    table1.set_defaults(func=_cmd_table1)
+
+    scenario = sub.add_parser("scenario", help="run one scenario family")
+    scenario.add_argument("family",
+                          choices=("stable", "equivocating", "churn", "late-join", "bursty"))
+    scenario.add_argument("--n", type=int, default=8)
+    scenario.add_argument("--f", type=int, default=3,
+                          help="Byzantine count (equivocating only)")
+    scenario.add_argument("--views", type=int, default=8)
+    scenario.add_argument("--delta", type=int, default=2)
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--attacker", default="equivocating-proposer",
+                          choices=ATTACKERS)
+    scenario.set_defaults(func=_cmd_scenario)
+
+    sub.add_parser(
+        "bench",
+        help="machine-readable benchmark harness "
+        "(all flags forwarded to benchmarks/run_benchmarks.py)",
+        add_help=False,
+    )
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``bench`` forwards its flags verbatim (argparse REMAINDER mishandles
+    # leading optionals), so dispatch it before the main parser runs.
+    if argv and argv[0] == "bench":
+        return _cmd_bench(list(argv[1:]))
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,8 +1,16 @@
-"""Experiment harness: canned scenarios and the measurement runners that
-feed the Table-1 and ablation benchmarks.
+"""Experiment harness: scenario builders, measurement runners, and the
+parallel sweep engine behind ``python -m repro sweep``.
+
+* :mod:`repro.harness.scenarios` — canned worlds (stable, equivocating,
+  churn, late-join, bursty/partition churn);
+* :mod:`repro.harness.runner` — the Table-1 measurement runners;
+* :mod:`repro.harness.sweep` — declarative grids, the multiprocessing
+  executor, and the append-only JSONL result store.
 """
 
 from repro.harness.runner import (
+    collect_table1_measurements,
+    measure_all_structural,
     measure_best_case_latency,
     measure_expected_latency,
     measure_structural_protocol,
@@ -11,21 +19,43 @@ from repro.harness.runner import (
     measure_voting_phases,
 )
 from repro.harness.scenarios import (
+    bursty_churn_scenario,
+    check_schedule_compliance,
     churn_scenario,
     equivocating_scenario,
+    late_join_scenario,
     run_scenario,
     stable_scenario,
 )
+from repro.harness.sweep import (
+    Cell,
+    ExperimentSpec,
+    ResultStore,
+    SweepOutcome,
+    run_cell,
+    run_sweep,
+)
 
 __all__ = [
+    "collect_table1_measurements",
+    "measure_all_structural",
     "measure_best_case_latency",
     "measure_expected_latency",
     "measure_structural_protocol",
     "measure_tobsvd_message_scaling",
     "measure_transaction_expected_latency",
     "measure_voting_phases",
+    "bursty_churn_scenario",
+    "check_schedule_compliance",
     "churn_scenario",
     "equivocating_scenario",
+    "late_join_scenario",
     "run_scenario",
     "stable_scenario",
+    "Cell",
+    "ExperimentSpec",
+    "ResultStore",
+    "SweepOutcome",
+    "run_cell",
+    "run_sweep",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from statistics import mean
+from typing import Callable
 
 from repro.analysis.latency import confirmation_times_deltas
 from repro.analysis.metrics import count_new_blocks, voting_phases_per_block
@@ -287,6 +288,86 @@ def measure_structural_protocol(
         phases_expected=voting_phases_per_block(adv_result.trace, name),
         view_failure_rate=failure_rate,
     )
+
+
+def measure_all_structural(
+    n: int = 10,
+    f: int = 4,
+    num_views_adversarial: int = 16,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, StructuralMeasurement]:
+    """Measure every non-TOB-SVD Table-1 baseline with shared parameters.
+
+    The single source of the "structural rows" loop that the Table-1
+    benchmarks, the CLI ``table1`` command and ``examples/table1_report.py``
+    all previously hand-rolled.  ``progress`` (if given) receives one line
+    *before* each baseline is measured, so long runs stay talkative.
+    """
+
+    from repro.baselines.structure import TABLE1_ORDER
+
+    rows: dict[str, StructuralMeasurement] = {}
+    for name in TABLE1_ORDER:
+        if name == TOBSVD_NAME:
+            continue
+        if progress is not None:
+            progress(f"measuring {name} (structural simulator)...")
+        rows[name] = measure_structural_protocol(
+            name, n=n, f=f, num_views_adversarial=num_views_adversarial, seed=seed
+        )
+    return rows
+
+
+def collect_table1_measurements(
+    smoke: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, dict[str, object]]:
+    """Run the full Table-1 measurement suite; return the ``measured`` dict.
+
+    The returned mapping feeds :func:`repro.analysis.table1.build_table1`
+    directly.  ``smoke`` shrinks run counts (fewer views, one seed) to a
+    few seconds for CI; ``progress`` (if given) receives one human-readable
+    line per measurement phase.
+    """
+
+    def say(text: str) -> None:
+        if progress is not None:
+            progress(text)
+
+    num_views = 10 if smoke else 16
+    seeds = (0,) if smoke else (0, 1)
+
+    say("measuring TOB-SVD (real protocol)...")
+    best = measure_best_case_latency(n=8, delta=4)
+    expected = measure_expected_latency(
+        n=10, f=4, num_views=num_views, delta=2, seeds=seeds
+    )
+    phases_best = measure_voting_phases(n=10, f=0, num_views=8 if smoke else 10, delta=2)
+    phases_exp = measure_voting_phases(n=10, f=4, num_views=num_views, delta=2)
+
+    measured: dict[str, dict[str, object]] = {
+        TOBSVD_NAME: {
+            "best_case": best.min_deltas,
+            "expected": round(expected.mean_deltas, 2),
+            "phases_best": phases_best,
+            "phases_expected": round(phases_exp, 2) if phases_exp else None,
+        }
+    }
+
+    for name, row in measure_all_structural(
+        n=10, f=4, num_views_adversarial=num_views, progress=say
+    ).items():
+        measured[name] = {
+            "best_case": row.best_case_deltas,
+            "expected": round(row.expected_deltas, 2),
+            "tx_expected": round(row.tx_expected_deltas, 2),
+            "phases_best": row.phases_best,
+            "phases_expected": round(row.phases_expected, 2)
+            if row.phases_expected
+            else None,
+        }
+    return measured
 
 
 def measure_structural_message_scaling(

@@ -7,11 +7,20 @@ common ones are:
 * :func:`equivocating_scenario` — ``f`` equivocating-proposer Byzantine
   validators, the leader-failure adversary behind expected-case numbers;
 * :func:`churn_scenario` — honest validators napping on a randomized
-  schedule that respects the (5Δ, 2Δ, ½) compliance condition.
+  schedule that respects the (5Δ, 2Δ, ½) compliance condition;
+* :func:`late_join_scenario` — a block of validators sleeps through the
+  first views and joins late, stabilization-aware;
+* :func:`bursty_churn_scenario` — partition-style outages: a group of
+  honest validators naps *together* in periodic bursts.
+
+The schedule builders behind the last two (:func:`late_join_schedule`,
+:func:`bursty_schedule`) are exposed separately so the sweep engine can
+apply them to the honest subset of adversarial grids.
 """
 
 from __future__ import annotations
 
+import math
 import random
 
 from repro.adversary.tob_attackers import make_tob_attacker_factory
@@ -96,14 +105,159 @@ def churn_scenario(
         min_asleep=(2 + 5) * delta,
     )
     if require_compliance:
-        t_b, t_s, rho = config.sleepy_model()
-        model = ParticipationModel(schedule=schedule, corruption=CorruptionPlan.none())
-        report = check_compliance(model, t_b, t_s, rho, horizon)
-        if not report.compliant:
-            raise ValueError(
-                f"churn schedule for seed {seed} violates the sleepy-model "
-                f"condition at t={report.first_violation().time}; pick another seed"
-            )
+        check_schedule_compliance(config, schedule, CorruptionPlan.none(), "churn")
+    return TobSvdProtocol(config, schedule=schedule, pool=pool)
+
+
+def late_join_schedule(
+    n: int,
+    joiners: tuple[int, ...],
+    join_time: int,
+) -> AwakeSchedule:
+    """Schedule where ``joiners`` sleep from t=0 until ``join_time``.
+
+    Everyone else is awake throughout.  ``join_time`` should be at least
+    T_s = 2Δ before the first view the joiners are meant to vote in, so
+    they clear the stabilization period in time.
+    """
+
+    spec: dict[int, list[tuple[int, int | None]]] = {
+        vid: [(join_time, None)] for vid in joiners
+    }
+    return AwakeSchedule.from_intervals(n, spec)
+
+
+def bursty_schedule(
+    n: int,
+    sleepers: tuple[int, ...],
+    horizon: int,
+    first_nap: int,
+    nap_ticks: int,
+    awake_ticks: int,
+) -> AwakeSchedule:
+    """Synchronized on/off naps — the partition-style churn pattern.
+
+    Every validator in ``sleepers`` is asleep during the same windows
+    ``[first_nap, first_nap + nap_ticks)``, then awake ``awake_ticks``,
+    then asleep again, repeating to ``horizon``.  Modelling a recurring
+    rack/region outage, this is the harshest honest-participation pattern
+    that still fits the sleepy model: unlike :func:`churn_scenario`'s
+    staggered naps, the awake quorum dips by ``len(sleepers)`` at once.
+    """
+
+    if first_nap <= 0 or nap_ticks <= 0 or awake_ticks <= 0:
+        raise ValueError("first_nap, nap_ticks and awake_ticks must be positive")
+    windows: list[tuple[int, int]] = []
+    start = first_nap
+    while start <= horizon:
+        windows.append((start, start + nap_ticks))
+        start += nap_ticks + awake_ticks
+    spec: dict[int, list[tuple[int, int | None]]] = {}
+    for vid in sleepers:
+        intervals: list[tuple[int, int | None]] = []
+        prev_end = 0
+        for nap_start, nap_end in windows:
+            if nap_start > prev_end:
+                intervals.append((prev_end, nap_start))
+            prev_end = nap_end
+        intervals.append((prev_end, None))
+        spec[vid] = intervals
+    return AwakeSchedule.from_intervals(n, spec)
+
+
+def check_schedule_compliance(
+    config: TobSvdConfig,
+    schedule: AwakeSchedule,
+    corruption: CorruptionPlan,
+    label: str,
+) -> None:
+    """Raise if ``schedule`` + ``corruption`` violates paper Condition (1).
+
+    The one compliance gate shared by every scenario family and the sweep
+    engine, so "the adversary left the model" always fails the same way.
+    """
+
+    t_b, t_s, rho = config.sleepy_model()
+    model = ParticipationModel(schedule=schedule, corruption=corruption)
+    report = check_compliance(model, t_b, t_s, rho, config.horizon)
+    if not report.compliant:
+        raise ValueError(
+            f"{label} schedule violates the sleepy-model condition at "
+            f"t={report.first_violation().time}; shrink the sleeper set or "
+            "pick another seed"
+        )
+
+
+def late_join_scenario(
+    n: int = 10,
+    num_views: int = 8,
+    delta: int = 4,
+    seed: int = 0,
+    joiner_fraction: float = 0.25,
+    join_view: int = 2,
+    pool: TransactionPool | None = None,
+    require_compliance: bool = True,
+) -> TobSvdProtocol:
+    """A block of validators sleeps through the early views, then joins.
+
+    The top ``ceil(n * joiner_fraction)`` validators wake T_s = 2Δ before
+    view ``join_view`` starts, so (per the A5 ablation) they are stabilized
+    in time to vote in that very view.  Everyone is honest; this is the
+    pure late-join workload of Lemma 4.
+    """
+
+    if not 0 < joiner_fraction < 1:
+        raise ValueError("joiner_fraction must lie in (0, 1)")
+    if not 1 <= join_view < num_views:
+        raise ValueError("join_view must fall inside the run")
+    config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
+    count = max(1, math.ceil(n * joiner_fraction))
+    joiners = tuple(range(n - count, n))
+    join_time = max(0, config.time.view_start(join_view) - 2 * delta)
+    schedule = late_join_schedule(n, joiners, join_time)
+    if require_compliance:
+        check_schedule_compliance(config, schedule, CorruptionPlan.none(), "late-join")
+    return TobSvdProtocol(config, schedule=schedule, pool=pool)
+
+
+def bursty_churn_scenario(
+    n: int = 12,
+    num_views: int = 10,
+    delta: int = 4,
+    seed: int = 0,
+    burst_fraction: float = 0.25,
+    nap_views: int = 2,
+    awake_views: int = 3,
+    pool: TransactionPool | None = None,
+    require_compliance: bool = True,
+) -> TobSvdProtocol:
+    """Partition-style churn: a fixed group naps together, periodically.
+
+    ``burst_fraction`` of the validators (the highest ids) go to sleep in
+    lock-step for ``nap_views`` whole views, stay awake ``awake_views``
+    views, and repeat.  Naps last ``nap_views * 4Δ >= T_s + T_b = 7Δ``
+    (for the default 2), so sleepers always re-qualify as active before
+    their votes matter again.  Everyone is honest.
+    """
+
+    if not 0 < burst_fraction < 0.5:
+        raise ValueError("burst_fraction must lie in (0, 0.5)")
+    if nap_views < 1 or awake_views < 1:
+        raise ValueError("nap_views and awake_views must be >= 1")
+    config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
+    count = max(1, int(n * burst_fraction))
+    sleepers = tuple(range(n - count, n))
+    view_ticks = config.time.view_ticks
+    schedule = bursty_schedule(
+        n,
+        sleepers,
+        horizon=config.horizon,
+        first_nap=2 * view_ticks,
+        nap_ticks=nap_views * view_ticks,
+        awake_ticks=awake_views * view_ticks,
+    )
+    if require_compliance:
+        check_schedule_compliance(config, schedule, CorruptionPlan.none(), "bursty")
     return TobSvdProtocol(config, schedule=schedule, pool=pool)
 
 

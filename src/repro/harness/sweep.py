@@ -1,0 +1,597 @@
+"""Parallel experiment-sweep engine.
+
+A sweep is a declarative :class:`ExperimentSpec` — a grid over protocol,
+``n``, ``f``, ``Δ``, attacker, participation family and seed — expanded
+into :class:`Cell` objects and executed on a ``multiprocessing`` worker
+pool.  Three invariants make sweeps trustworthy:
+
+* **Determinism.**  Every cell derives its run seed from a SHA-256 of its
+  own coordinates (never from wall clock, never from global RNG state),
+  so a cell's result is a pure function of the spec.  Serial and parallel
+  execution produce the same set of JSONL records, and the sorted
+  aggregate output is byte-identical regardless of worker count.
+* **Append-only results.**  Each finished cell is one JSON line in a
+  :class:`ResultStore`.  A killed sweep loses at most a partially-written
+  final line, which the reader skips.
+* **Resume.**  Re-running a sweep against an existing store skips every
+  cell whose id is already recorded and executes only the remainder.
+
+The grid axes mirror the paper's worlds: ``stable`` / ``churn`` /
+``late-join`` / ``bursty`` participation (see
+:mod:`repro.harness.scenarios`), the TOB attackers of
+:mod:`repro.adversary.tob_attackers`, and the structural Table-1
+baselines of :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import random
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Callable
+
+from repro.adversary.tob_attackers import make_tob_attacker_factory
+from repro.analysis.latency import confirmation_times_deltas
+from repro.analysis.metrics import check_safety, count_new_blocks, voting_phases_per_block
+from repro.baselines.structural_tob import StructuralConfig, StructuralTob
+from repro.baselines.structure import PROTOCOL_STRUCTURES, structure_for
+from repro.chain.transactions import TransactionPool
+from repro.core.tobsvd import PROTOCOL_NAME as TOBSVD_NAME
+from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol
+from repro.harness.scenarios import (
+    bursty_schedule,
+    check_schedule_compliance,
+    late_join_schedule,
+)
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.schedule import AwakeSchedule
+
+PARTICIPATIONS = ("stable", "churn", "late-join", "bursty")
+ATTACKERS = ("equivocating-proposer", "silent", "double-voter")
+STRUCTURAL_PROTOCOLS = tuple(
+    name for name in PROTOCOL_STRUCTURES if name != TOBSVD_NAME
+)
+
+
+# ---------------------------------------------------------------------------
+# Spec and cells
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative experiment grid.
+
+    Axes multiply: ``protocols × ns × fs × deltas × attackers ×
+    participations × seeds``.  :meth:`expand` drops combinations that are
+    meaningless (``2f >= n``; a named attacker with ``f = 0``; non-stable
+    participation for structural baselines, which have no sleep model) and
+    de-duplicates the rest, so a spec is safe to write loosely.
+    """
+
+    name: str
+    protocols: tuple[str, ...] = (TOBSVD_NAME,)
+    ns: tuple[int, ...] = (8,)
+    fs: tuple[int, ...] = (0,)
+    deltas: tuple[int, ...] = (2,)
+    attackers: tuple[str, ...] = ("equivocating-proposer",)
+    participations: tuple[str, ...] = ("stable",)
+    seeds: int = 1
+    num_views: int = 8
+    txs_per_cell: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec needs a name")
+        if self.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        if self.num_views < 4:
+            raise ValueError("num_views must be >= 4 (latency anchors need room)")
+        known = (TOBSVD_NAME,) + STRUCTURAL_PROTOCOLS
+        for protocol in self.protocols:
+            if protocol not in known:
+                raise ValueError(f"unknown protocol {protocol!r} (known: {known})")
+        for participation in self.participations:
+            if participation not in PARTICIPATIONS:
+                raise ValueError(
+                    f"unknown participation {participation!r} (known: {PARTICIPATIONS})"
+                )
+        for attacker in self.attackers:
+            if attacker not in ATTACKERS:
+                raise ValueError(f"unknown attacker {attacker!r} (known: {ATTACKERS})")
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the on-disk spec-file format)."""
+
+        return {
+            "name": self.name,
+            "protocols": list(self.protocols),
+            "ns": list(self.ns),
+            "fs": list(self.fs),
+            "deltas": list(self.deltas),
+            "attackers": list(self.attackers),
+            "participations": list(self.participations),
+            "seeds": self.seeds,
+            "num_views": self.num_views,
+            "txs_per_cell": self.txs_per_cell,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+
+        known = {
+            "name", "protocols", "ns", "fs", "deltas", "attackers",
+            "participations", "seeds", "num_views", "txs_per_cell",
+        }
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown spec keys: {sorted(extra)}")
+        kwargs = dict(data)
+        for key in ("protocols", "ns", "fs", "deltas", "attackers", "participations"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+    # -- expansion ----------------------------------------------------------
+
+    def expand(self) -> tuple["Cell", ...]:
+        """The grid as a deterministic, de-duplicated cell tuple.
+
+        Normalisation: ``f = 0`` cells carry attacker ``"none"`` (no
+        attacker runs, so named attackers would only duplicate the cell),
+        and invalid combinations are dropped rather than raised so a broad
+        grid over ``ns × fs`` stays writable.
+        """
+
+        cells: dict[str, Cell] = {}
+        for protocol in self.protocols:
+            for n in self.ns:
+                for f in self.fs:
+                    if f < 0 or 2 * f >= n:
+                        continue
+                    for delta in self.deltas:
+                        for participation in self.participations:
+                            if (
+                                protocol != TOBSVD_NAME
+                                and participation != "stable"
+                            ):
+                                continue
+                            attackers = self.attackers if f > 0 else ("none",)
+                            if protocol != TOBSVD_NAME and f > 0:
+                                # Structural baselines have one built-in
+                                # bad-leader adversary; the attacker axis
+                                # does not apply.
+                                attackers = ("equivocating-proposer",)
+                            for attacker in attackers:
+                                for seed_index in range(self.seeds):
+                                    cell = Cell(
+                                        spec_name=self.name,
+                                        protocol=protocol,
+                                        n=n,
+                                        f=f,
+                                        delta=delta,
+                                        attacker=attacker,
+                                        participation=participation,
+                                        seed_index=seed_index,
+                                        num_views=self.num_views,
+                                        txs_per_cell=self.txs_per_cell,
+                                    )
+                                    cells[cell.cell_id] = cell
+        return tuple(sorted(cells.values(), key=lambda c: c.sort_key))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point: a fully-specified, independently-runnable experiment."""
+
+    spec_name: str
+    protocol: str
+    n: int
+    f: int
+    delta: int
+    attacker: str
+    participation: str
+    seed_index: int
+    num_views: int
+    txs_per_cell: int
+
+    @property
+    def canonical_key(self) -> str:
+        """The unambiguous textual identity every derived value hashes."""
+
+        return (
+            f"{self.spec_name}|{self.protocol}|n={self.n}|f={self.f}"
+            f"|delta={self.delta}|attacker={self.attacker}"
+            f"|participation={self.participation}|views={self.num_views}"
+            f"|txs={self.txs_per_cell}|seed={self.seed_index}"
+        )
+
+    @property
+    def cell_id(self) -> str:
+        """Stable 16-hex-digit id (prefix of the key's SHA-256)."""
+
+        return hashlib.sha256(self.canonical_key.encode()).hexdigest()[:16]
+
+    @property
+    def run_seed(self) -> int:
+        """Per-cell simulation seed, derived — not enumerated.
+
+        Hash-derived seeds guarantee that neighbouring cells never share
+        RNG streams (enumerated seeds 0,1,2… would collide across grid
+        points) and that the seed is reproducible from the cell alone.
+        """
+
+        digest = hashlib.sha256((self.canonical_key + "|rng").encode()).digest()
+        return int.from_bytes(digest[:4], "big")
+
+    @property
+    def sort_key(self) -> tuple:
+        """Human-meaningful grid order (protocol, n, f, …, seed)."""
+
+        return (
+            self.spec_name, self.protocol, self.n, self.f, self.delta,
+            self.attacker, self.participation, self.seed_index,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able coordinates (embedded in every result record)."""
+
+        return {
+            "spec_name": self.spec_name,
+            "protocol": self.protocol,
+            "n": self.n,
+            "f": self.f,
+            "delta": self.delta,
+            "attacker": self.attacker,
+            "participation": self.participation,
+            "seed_index": self.seed_index,
+            "num_views": self.num_views,
+            "txs_per_cell": self.txs_per_cell,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Cell":
+        """Inverse of :meth:`to_dict` (workers rebuild cells from dicts)."""
+
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# Cell execution
+# ---------------------------------------------------------------------------
+
+
+def _tobsvd_schedule(cell: Cell, config: TobSvdConfig) -> AwakeSchedule | None:
+    """The participation schedule for a TOB-SVD cell.
+
+    Sleepers are always drawn from the *honest* ids (``0 .. n-f-1``) —
+    Byzantine validators remain always awake per the model — and the
+    sleeper count is capped at ``n - 2f - 1`` so an all-asleep burst
+    cannot hand the adversary an active majority.
+    """
+
+    if cell.participation == "stable":
+        return None
+    honest = cell.n - cell.f
+    max_sleepers = max(0, min(honest - 1, cell.n - 2 * cell.f - 1))
+    count = min(max_sleepers, max(1, honest // 4))
+    if count <= 0:
+        # Refuse rather than silently run stable participation: a record
+        # labelled churn/late-join/bursty must never carry stable-world
+        # metrics.  The cell becomes an "error" record instead.
+        raise ValueError(
+            f"participation {cell.participation!r} infeasible at n={cell.n} "
+            f"f={cell.f}: no honest validator can sleep without handing the "
+            "adversary an active majority"
+        )
+    sleepers = tuple(range(honest - count, honest))
+    view_ticks = config.time.view_ticks
+    if cell.participation == "late-join":
+        join_time = max(0, config.time.view_start(2) - 2 * cell.delta)
+        return late_join_schedule(cell.n, sleepers, join_time)
+    if cell.participation == "bursty":
+        return bursty_schedule(
+            cell.n,
+            sleepers,
+            horizon=config.horizon,
+            first_nap=2 * view_ticks,
+            nap_ticks=2 * view_ticks,
+            awake_ticks=3 * view_ticks,
+        )
+    # "churn": randomized staggered naps, seeded from the cell.
+    rng = random.Random(cell.run_seed ^ 0x5EED)
+    return AwakeSchedule.random_churn(
+        n=cell.n,
+        horizon=config.horizon,
+        rng=rng,
+        churners=sleepers,
+        min_awake=2 * view_ticks,
+        min_asleep=7 * cell.delta,
+    )
+
+
+def _anchored_submissions(
+    pool: TransactionPool, cell: Cell, view_ticks: int
+) -> list:
+    """Submit ``txs_per_cell`` transactions right before successive views.
+
+    The standard Table-1 submission pattern: one transaction one tick
+    before each view start, cycling over views ``1 .. num_views - 4`` so
+    every submission has room to confirm inside the run.
+    """
+
+    last_view = max(2, cell.num_views - 3)
+    txs = []
+    for i in range(cell.txs_per_cell):
+        view = 1 + i % (last_view - 1)
+        txs.append(
+            pool.submit(payload=f"sweep-{cell.cell_id}-{i}", at_time=view * view_ticks - 1)
+        )
+    return txs
+
+
+def run_cell(cell: Cell) -> dict:
+    """Execute one cell and return its JSON-able result record.
+
+    The record is a pure function of the cell: metrics come from the
+    deterministic simulation, floats are rounded once here (so serial and
+    parallel runs cannot diverge in formatting), and failures inside the
+    simulation are captured as ``status: "error"`` records rather than
+    crashing the sweep.
+    """
+
+    try:
+        metrics = _execute(cell)
+        status, error = "ok", None
+    except Exception as exc:  # noqa: BLE001 — a cell must never kill the sweep
+        metrics, status, error = {}, "error", f"{type(exc).__name__}: {exc}"
+    return {
+        "cell_id": cell.cell_id,
+        "cell": cell.to_dict(),
+        "run_seed": cell.run_seed,
+        "status": status,
+        "error": error,
+        "metrics": metrics,
+    }
+
+
+def _execute(cell: Cell) -> dict:
+    """The measured body of :func:`run_cell` (raises on any failure)."""
+
+    if cell.protocol == TOBSVD_NAME:
+        config = TobSvdConfig(
+            n=cell.n, num_views=cell.num_views, delta=cell.delta, seed=cell.run_seed
+        )
+        schedule = _tobsvd_schedule(cell, config)
+        corruption = (
+            CorruptionPlan.static(frozenset(range(cell.n - cell.f, cell.n)))
+            if cell.f
+            else None
+        )
+        if schedule is not None:
+            check_schedule_compliance(
+                config,
+                schedule,
+                corruption or CorruptionPlan.none(),
+                cell.participation,
+            )
+        pool = TransactionPool()
+        txs = _anchored_submissions(pool, cell, config.time.view_ticks)
+        protocol = TobSvdProtocol(
+            config,
+            schedule=schedule,
+            corruption=corruption,
+            byzantine_factory=(
+                make_tob_attacker_factory(cell.attacker) if cell.f else None
+            ),
+            pool=pool,
+        )
+        result = protocol.run()
+        deliveries = result.network.stats.weighted_deliveries
+    else:
+        structure = structure_for(cell.protocol)
+        config = StructuralConfig(
+            n=cell.n, num_views=cell.num_views, delta=cell.delta, seed=cell.run_seed
+        )
+        pool = TransactionPool()
+        view_ticks = structure.view_length_deltas * cell.delta
+        txs = _anchored_submissions(pool, cell, view_ticks)
+        corruption = (
+            CorruptionPlan.static(frozenset(range(cell.n - cell.f, cell.n)))
+            if cell.f
+            else None
+        )
+        result = StructuralTob(structure, config, corruption=corruption, pool=pool).run()
+        deliveries = result.network.stats.weighted_deliveries
+
+    trace = result.trace
+    blocks = count_new_blocks(trace)
+    confirmed = confirmation_times_deltas(trace, txs, cell.delta)
+    phases = voting_phases_per_block(trace, cell.protocol)
+    failure_rate = max(0.0, (cell.num_views - blocks) / cell.num_views)
+    return {
+        "safe": bool(check_safety(trace).safe),
+        "blocks": blocks,
+        "view_failure_rate": round(failure_rate, 6),
+        "confirmed": len(confirmed),
+        "unconfirmed": len(txs) - len(confirmed),
+        "latency_mean_deltas": round(mean(confirmed), 6) if confirmed else None,
+        "latency_min_deltas": round(min(confirmed), 6) if confirmed else None,
+        "latency_max_deltas": round(max(confirmed), 6) if confirmed else None,
+        "phases_per_block": round(phases, 6) if phases is not None else None,
+        "weighted_deliveries": deliveries,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Result store
+# ---------------------------------------------------------------------------
+
+
+def canonical_record(record: dict) -> str:
+    """The one true serialisation of a record (sorted keys, no whitespace).
+
+    Byte-identity across serial/parallel runs rests on every writer using
+    exactly this encoding.
+    """
+
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Append-only JSONL result store with kill-tolerant reads.
+
+    One record per line.  Reads skip unparsable lines (a sweep killed
+    mid-write leaves at most one truncated final line), which is what
+    makes resume-after-kill safe without any journalling.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._tail_checked = False
+
+    def _ensure_trailing_newline(self) -> None:
+        """Repair a truncated final line before appending new records.
+
+        A run killed mid-write leaves a partial line with no newline;
+        appending straight after it would glue a fresh (valid) record onto
+        the junk and corrupt it.  Terminating the junk line instead leaves
+        it harmlessly unparsable.
+        """
+
+        if self._tail_checked:
+            return
+        self._tail_checked = True
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                last = fh.read(1)
+        except (OSError, ValueError):  # missing or empty file
+            return
+        if last != b"\n":
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write("\n")
+
+    def load(self) -> list[dict]:
+        """All parsable records, in file order (duplicates possible)."""
+
+        if not os.path.exists(self.path):
+            return []
+        records: list[dict] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # truncated tail from an interrupted run
+        return records
+
+    def completed_ids(self) -> set[str]:
+        """Cell ids with a recorded result (``ok`` or ``error`` both count)."""
+
+        return {
+            record["cell_id"]
+            for record in self.load()
+            if isinstance(record, dict) and "cell_id" in record
+        }
+
+    def append(self, record: dict) -> None:
+        """Write one record and flush — a crash never loses earlier cells."""
+
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._ensure_trailing_newline()
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(canonical_record(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+# ---------------------------------------------------------------------------
+# The sweep driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepOutcome:
+    """What :func:`run_sweep` hands back to callers."""
+
+    spec: ExperimentSpec
+    total_cells: int
+    executed: int
+    skipped: int
+    records: list[dict] = field(default_factory=list)
+
+    def sorted_records(self) -> list[dict]:
+        """Records in canonical (cell_id) order — the aggregation input."""
+
+        return sorted(self.records, key=lambda r: r["cell_id"])
+
+
+def _run_cell_from_dict(cell_data: dict) -> dict:
+    """Pool-friendly wrapper: workers receive plain dicts, not dataclasses."""
+
+    return run_cell(Cell.from_dict(cell_data))
+
+
+def run_sweep(
+    spec: ExperimentSpec,
+    store: ResultStore | None = None,
+    workers: int = 1,
+    progress: Callable[[dict], None] | None = None,
+) -> SweepOutcome:
+    """Expand ``spec`` and execute every not-yet-recorded cell.
+
+    ``workers > 1`` runs cells on a ``multiprocessing`` pool; results are
+    appended to ``store`` as they complete (completion order may differ
+    between runs, which is why consumers read :meth:`SweepOutcome.
+    sorted_records`).  Serial and parallel execution produce the same
+    record *set*, byte-for-byte, because cells share no mutable state and
+    derive all randomness from their own coordinates.
+
+    ``progress`` (if given) is called with each fresh record — the CLI
+    uses it for per-cell console lines.
+    """
+
+    cells = spec.expand()
+    done = store.completed_ids() if store is not None else set()
+    todo = [cell for cell in cells if cell.cell_id not in done]
+
+    fresh: list[dict] = []
+
+    def consume(record: dict) -> None:
+        if store is not None:
+            store.append(record)
+        fresh.append(record)
+        if progress is not None:
+            progress(record)
+
+    if workers <= 1 or len(todo) <= 1:
+        for cell in todo:
+            consume(run_cell(cell))
+    else:
+        payloads = [cell.to_dict() for cell in todo]
+        with multiprocessing.Pool(processes=workers) as pool:
+            for record in pool.imap_unordered(_run_cell_from_dict, payloads, chunksize=1):
+                consume(record)
+
+    records = {r["cell_id"]: r for r in (store.load() if store is not None else fresh)}
+    wanted = {cell.cell_id for cell in cells}
+    return SweepOutcome(
+        spec=spec,
+        total_cells=len(cells),
+        executed=len(todo),
+        skipped=len(cells) - len(todo),
+        records=[records[cid] for cid in sorted(wanted & set(records))],
+    )

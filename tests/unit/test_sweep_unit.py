@@ -1,0 +1,212 @@
+"""Unit tests for the sweep engine's pure parts: specs, cells, stores,
+aggregation.  The end-to-end determinism contract lives in
+``tests/integration/test_sweep.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.aggregation import (
+    aggregate_sweep,
+    render_sweep_csv,
+    render_sweep_markdown,
+)
+from repro.harness.sweep import (
+    Cell,
+    ExperimentSpec,
+    ResultStore,
+    canonical_record,
+    run_cell,
+)
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    kwargs = dict(
+        name="unit",
+        protocols=("tobsvd",),
+        ns=(6,),
+        fs=(0, 2),
+        deltas=(2,),
+        participations=("stable",),
+        seeds=2,
+        num_views=6,
+        txs_per_cell=4,
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+class TestSpec:
+    def test_expansion_is_deterministic(self):
+        spec = small_spec(participations=("stable", "churn"))
+        assert spec.expand() == spec.expand()
+
+    def test_expansion_drops_invalid_f(self):
+        spec = small_spec(ns=(4, 8), fs=(0, 2, 5))
+        cells = spec.expand()
+        assert all(2 * c.f < c.n for c in cells)
+        # f=2 survives only for n=8; f=5 never survives.
+        assert {(c.n, c.f) for c in cells} == {(4, 0), (8, 0), (8, 2)}
+
+    def test_f0_normalises_attacker_to_none(self):
+        cells = small_spec(fs=(0,), attackers=("silent", "double-voter")).expand()
+        assert {c.attacker for c in cells} == {"none"}
+        # ... and the two attacker values did not duplicate the grid.
+        assert len(cells) == 2  # one per seed
+
+    def test_structural_protocols_only_run_stable(self):
+        spec = small_spec(
+            protocols=("tobsvd", "mr"), participations=("stable", "late-join")
+        )
+        cells = spec.expand()
+        assert {c.participation for c in cells if c.protocol == "mr"} == {"stable"}
+        assert {c.participation for c in cells if c.protocol == "tobsvd"} == {
+            "stable",
+            "late-join",
+        }
+
+    def test_roundtrip_through_dict(self):
+        spec = small_spec(participations=("stable", "bursty"))
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        # The on-disk form must survive a JSON round trip too.
+        assert ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_unknown_axis_values_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(protocols=("paxos",))
+        with pytest.raises(ValueError):
+            small_spec(participations=("flaky",))
+        with pytest.raises(ValueError):
+            small_spec(attackers=("omniscient",))
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_dict({"name": "x", "bogus_key": 1})
+
+
+class TestCell:
+    def test_cell_id_and_seed_are_stable_functions_of_coordinates(self):
+        a, b = small_spec().expand(), small_spec().expand()
+        assert [c.cell_id for c in a] == [c.cell_id for c in b]
+        assert [c.run_seed for c in a] == [c.run_seed for c in b]
+
+    def test_distinct_cells_get_distinct_seeds(self):
+        cells = small_spec(ns=(6, 8), seeds=3).expand()
+        seeds = [c.run_seed for c in cells]
+        assert len(set(seeds)) == len(seeds)
+        ids = [c.cell_id for c in cells]
+        assert len(set(ids)) == len(ids)
+
+    def test_roundtrip_through_dict(self):
+        cell = small_spec().expand()[0]
+        assert Cell.from_dict(cell.to_dict()) == cell
+
+    def test_infeasible_participation_errors_instead_of_running_stable(self):
+        # n=5 f=2 leaves no honest validator free to sleep; the cell must
+        # surface that, never silently fall back to stable participation.
+        cell = Cell(
+            spec_name="unit", protocol="tobsvd", n=5, f=2, delta=2,
+            attacker="equivocating-proposer", participation="churn",
+            seed_index=0, num_views=6, txs_per_cell=2,
+        )
+        record = run_cell(cell)
+        assert record["status"] == "error"
+        assert "infeasible" in record["error"]
+
+    def test_error_cell_is_a_record_not_a_crash(self):
+        cell = Cell(
+            spec_name="unit", protocol="tobsvd", n=6, f=2, delta=2,
+            attacker="no-such-attacker", participation="stable",
+            seed_index=0, num_views=6, txs_per_cell=2,
+        )
+        record = run_cell(cell)
+        assert record["status"] == "error"
+        assert "no-such-attacker" in record["error"]
+        assert record["metrics"] == {}
+
+
+class TestResultStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        records = [{"cell_id": "a", "x": 1}, {"cell_id": "b", "x": 2}]
+        for record in records:
+            store.append(record)
+        assert store.load() == records
+        assert store.completed_ids() == {"a", "b"}
+
+    def test_truncated_tail_is_skipped_and_repaired(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"cell_id": "a"}\n{"cell_id": "trunca')
+        store = ResultStore(str(path))
+        assert store.completed_ids() == {"a"}
+        # Appending after a kill must not glue onto the junk line.
+        store.append({"cell_id": "b"})
+        assert store.completed_ids() == {"a", "b"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(str(tmp_path / "absent.jsonl"))
+        assert store.load() == []
+        assert store.completed_ids() == set()
+
+
+class TestAggregation:
+    def make_record(self, seed_index: int, latency: float, **coords) -> dict:
+        cell = dict(
+            spec_name="unit", protocol="tobsvd", n=6, f=0, delta=2,
+            attacker="none", participation="stable", seed_index=seed_index,
+            num_views=6, txs_per_cell=4,
+        )
+        cell.update(coords)
+        return {
+            "cell_id": f"id-{coords}-{seed_index}",
+            "cell": cell,
+            "status": "ok",
+            "error": None,
+            "metrics": {
+                "safe": True,
+                "blocks": 6,
+                "view_failure_rate": 0.0,
+                "confirmed": 4,
+                "unconfirmed": 0,
+                "latency_mean_deltas": latency,
+                "latency_min_deltas": latency,
+                "latency_max_deltas": latency,
+                "phases_per_block": 1.0,
+                "weighted_deliveries": 100,
+            },
+        }
+
+    def test_groups_over_seed_axis(self):
+        records = [
+            self.make_record(0, 6.5),
+            self.make_record(1, 7.5),
+            self.make_record(0, 9.5, n=8),
+        ]
+        rows = aggregate_sweep(records)
+        assert len(rows) == 2
+        n6 = next(row for row in rows if row.n == 6)
+        assert n6.cells == 2 and n6.latency_mean_deltas == 7.0
+        assert next(row for row in rows if row.n == 8).cells == 1
+
+    def test_error_cells_counted_but_contribute_no_metrics(self):
+        bad = self.make_record(1, 0.0)
+        bad.update(status="error", error="boom", metrics={})
+        rows = aggregate_sweep([self.make_record(0, 6.5), bad])
+        (row,) = rows
+        assert row.cells == 2 and row.errors == 1
+        assert row.latency_mean_deltas == 6.5
+
+    def test_rendering_is_order_independent(self):
+        records = [self.make_record(i, 6.5 + i, n=n) for i in range(2) for n in (6, 8)]
+        csv_fwd = render_sweep_csv(aggregate_sweep(records))
+        csv_rev = render_sweep_csv(aggregate_sweep(list(reversed(records))))
+        assert csv_fwd == csv_rev
+        md = render_sweep_markdown(aggregate_sweep(records))
+        assert md.startswith("| protocol |")
+        assert md.count("\n") == 2 + 2  # header + rule + two grid rows
+
+    def test_canonical_record_is_key_order_independent(self):
+        assert canonical_record({"b": 1, "a": [1, 2]}) == canonical_record(
+            {"a": [1, 2], "b": 1}
+        )
