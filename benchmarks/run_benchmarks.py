@@ -1,24 +1,38 @@
 """Machine-readable benchmark entry point.
 
 Runs the micro-benchmark operations (the same hot ops as
-``bench_micro.py``) plus a small end-to-end / Table-1 group, and writes a
-JSON report mapping ``op -> ops/sec``.  Unlike ``bench_micro.py`` this
-harness has no pytest dependency, so it can run anywhere and its output
-can be diffed across commits.
+``bench_micro.py``) plus an end-to-end / Table-1 group — including the
+large-n (n=64) and views-scaling entries introduced with the scale
+engine — and writes a JSON report mapping ``op -> ops/sec``.  Unlike
+``bench_micro.py`` this harness has no pytest dependency, so it can run
+anywhere and its output can be diffed across commits.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py --out BENCH.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke   # quick sanity pass
     PYTHONPATH=src python benchmarks/run_benchmarks.py \
-        --out BENCH_PR1.json --baseline bench_seed.json
+        --out BENCH_PR3.json --baseline BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --smoke --against BENCH_PR3.json --tolerance 0.8   # CI regression gate
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --profile e2e.full_view_n8                          # where does time go?
 
-With ``--baseline`` the report embeds the baseline numbers as ``before``,
-the fresh numbers as ``after``, and per-op speedups, which is how the
-committed ``BENCH_PR<k>.json`` files are produced (see PERFORMANCE.md).
-``--smoke`` runs every op once with minimal repetitions — it checks the
-benchmark suite itself still works (suitable for tier-1/CI) without
-producing statistically meaningful numbers.
+Report schema: one canonical ``results`` section (op -> ops/sec).  With
+``--baseline`` the report additionally embeds the baseline numbers as
+``before`` and per-op ``speedup`` factors — ``results`` is never
+duplicated (earlier reports wrote an identical ``after`` copy;
+:func:`read_results` still accepts those legacy files).
+
+``--against`` is the regression gate: measure, compare each op present
+in both reports, and exit non-zero if any current number falls below
+``(1 - tolerance) * baseline``.  ``--smoke`` runs every op once with
+minimal repetitions — numbers are noisy, so gate smoke runs with a
+generous tolerance.
+
+``--profile OP`` runs cProfile over one chosen benchmark instead of
+measuring, printing the top-N entries by cumulative and internal time —
+the starting point for any future perf PR.
 """
 
 from __future__ import annotations
@@ -30,6 +44,33 @@ import sys
 import time
 from typing import Callable
 
+# Ops whose callable runs a multi-view scenario end-to-end; the reported
+# number is *views per second* (runs/sec x views), so "per-view cost flat
+# in chain length" reads directly as near-equal values across the family.
+VIEW_RATE_OPS = {
+    "e2e.view_rate_n8_v8": 8,
+    "e2e.view_rate_n8_v32": 32,
+}
+
+
+def read_results(report: dict) -> dict:
+    """Extract the op -> ops/sec mapping from any report generation.
+
+    Prefers the canonical ``results`` section, falls back to the legacy
+    duplicated ``after`` section, and finally treats the document itself
+    as the mapping (hand-written baselines).
+    """
+
+    for key in ("results", "after"):
+        section = report.get(key)
+        if isinstance(section, dict) and section:
+            return section
+    return {
+        name: value
+        for name, value in report.items()
+        if isinstance(value, (int, float))
+    }
+
 
 def _build_ops() -> dict[str, Callable[[], object]]:
     """Construct the benchmark operations over the public API.
@@ -40,7 +81,7 @@ def _build_ops() -> dict[str, Callable[[], object]]:
 
     from repro.chain.log import Log
     from repro.chain.transactions import Transaction
-    from repro.core.quorum import majority_chain
+    from repro.core.quorum import majority_chain, majority_tip
     from repro.core.state import LogView
     from repro.crypto.hashing import stable_digest
     from repro.crypto.signatures import KeyRegistry
@@ -76,6 +117,12 @@ def _build_ops() -> dict[str, Callable[[], object]]:
     split_b = base4.append_block([make_tx(2)], 1, 0)
     split_pairs = frozenset(
         (vid, split_a if vid % 2 else split_b) for vid in range(64)
+    )
+    long_base = chain_of(200)
+    long_a = long_base.append_block([make_tx(3)], 0, 0)
+    long_b = long_base.append_block([make_tx(4)], 1, 0)
+    long_split_pairs = frozenset(
+        (vid, long_a if vid % 2 else long_b) for vid in range(64)
     )
 
     log3 = chain_of(3)
@@ -115,6 +162,9 @@ def _build_ops() -> dict[str, Callable[[], object]]:
     def op_majority_split():
         return majority_chain(split_pairs, 64)
 
+    def op_majority_tip_long_split():
+        return majority_tip(long_split_pairs, 64)
+
     def op_handle_64():
         view = LogView()
         for envelope in envelopes:
@@ -152,6 +202,21 @@ def _build_ops() -> dict[str, Callable[[], object]]:
         result = protocol.run()
         return len(result.trace.decisions)
 
+    def op_full_view_n64():
+        protocol = stable_scenario(n=64, num_views=2, delta=2, seed=0)
+        result = protocol.run()
+        return len(result.trace.decisions)
+
+    def op_view_rate_v8():
+        protocol = stable_scenario(n=8, num_views=8, delta=2, seed=0)
+        result = protocol.run()
+        return len(result.trace.decisions)
+
+    def op_view_rate_v32():
+        protocol = stable_scenario(n=8, num_views=32, delta=2, seed=0)
+        result = protocol.run()
+        return len(result.trace.decisions)
+
     def op_stable_n16_views4():
         protocol = stable_scenario(n=16, num_views=4, delta=2, seed=0)
         result = protocol.run()
@@ -166,6 +231,7 @@ def _build_ops() -> dict[str, Callable[[], object]]:
         "log.contains_transaction_len50": op_contains_tx,
         "quorum.majority_chain_64_senders": op_majority_uniform,
         "quorum.majority_chain_split": op_majority_split,
+        "quorum.majority_tip_len200_split": op_majority_tip_long_split,
         "state.handle_64_log_messages": op_handle_64,
         "state.pairs_snapshot_x16": op_pairs_snapshot,
         "crypto.stable_digest_flat_tuple": op_stable_digest_flat,
@@ -174,6 +240,9 @@ def _build_ops() -> dict[str, Callable[[], object]]:
         "crypto.vrf_ranking_64": op_vrf_rank,
         "sim.event_dispatch_1000": op_event_dispatch,
         "e2e.full_view_n8": op_full_view_n8,
+        "e2e.full_view_n64": op_full_view_n64,
+        "e2e.view_rate_n8_v8": op_view_rate_v8,
+        "e2e.view_rate_n8_v32": op_view_rate_v32,
         "table1.stable_n16_views4": op_stable_n16_views4,
     }
 
@@ -200,13 +269,72 @@ def _measure(fn: Callable[[], object], target_seconds: float, repeats: int) -> f
     return 1.0 / best if best > 0 else float("inf")
 
 
+def _profile_op(name: str, fn: Callable[[], object], top: int) -> None:
+    """cProfile one op and print the top ``top`` rows (cumulative + internal)."""
+
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs()
+    print(f"profile of {name!r} — top {top} by cumulative time:")
+    stats.sort_stats("cumulative").print_stats(top)
+    print(f"profile of {name!r} — top {top} by internal time:")
+    stats.sort_stats("tottime").print_stats(top)
+
+
+def _check_regressions(
+    results: dict[str, float], gate: dict, tolerance: float
+) -> list[str]:
+    """Ops whose current ops/sec fell below ``(1 - tolerance) * baseline``."""
+
+    baseline = read_results(gate)
+    failures = []
+    for name, current in results.items():
+        reference = baseline.get(name)
+        if not reference:
+            continue
+        floor = (1.0 - tolerance) * reference
+        if current < floor:
+            failures.append(
+                f"{name}: {current:,.1f} ops/sec < floor {floor:,.1f} "
+                f"(baseline {reference:,.1f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def _load_report(path: str) -> dict | None:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read report {path!r}: {exc}", file=sys.stderr)
+        return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None, help="write the JSON report here")
     parser.add_argument(
         "--baseline",
         default=None,
-        help="a prior report; embeds before/after/speedup into the output",
+        help="a prior report; embeds before/speedup into the output",
+    )
+    parser.add_argument(
+        "--against",
+        default=None,
+        help="regression gate: compare against this report, exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional slowdown for --against (default 0.5; "
+        "smoke runs are noisy, gate them generously)",
     )
     parser.add_argument(
         "--smoke",
@@ -216,22 +344,52 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--only", default=None, help="substring filter on op names"
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="OP",
+        help="cProfile one op (exact name or unique substring) and exit",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="rows to print per --profile table (default 25)",
+    )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print("error: --tolerance must lie in [0, 1)", file=sys.stderr)
+        return 2
 
     target = 0.02 if args.smoke else 0.2
     repeats = 1 if args.smoke else 3
 
-    baseline = None
+    baseline = gate = None
     if args.baseline:
-        try:
-            with open(args.baseline) as fh:
-                baseline = json.load(fh)
-        except (OSError, json.JSONDecodeError) as exc:
-            print(f"error: cannot read baseline {args.baseline!r}: {exc}",
-                  file=sys.stderr)
+        baseline = _load_report(args.baseline)
+        if baseline is None:
+            return 2
+    if args.against:
+        gate = _load_report(args.against)
+        if gate is None:
             return 2
 
     ops = _build_ops()
+    if args.profile:
+        matches = {name: fn for name, fn in ops.items() if args.profile in name}
+        if not matches:
+            print(f"error: --profile {args.profile!r} matches no ops", file=sys.stderr)
+            return 2
+        if len(matches) > 1 and args.profile not in matches:
+            print(
+                f"error: --profile {args.profile!r} is ambiguous: "
+                f"{', '.join(sorted(matches))}",
+                file=sys.stderr,
+            )
+            return 2
+        name = args.profile if args.profile in matches else next(iter(matches))
+        _profile_op(name, ops[name], args.profile_top)
+        return 0
     if args.only:
         ops = {name: fn for name, fn in ops.items() if args.only in name}
         if not ops:
@@ -241,8 +399,12 @@ def main(argv: list[str] | None = None) -> int:
     results: dict[str, float] = {}
     for name, fn in ops.items():
         ops_per_sec = _measure(fn, target_seconds=target, repeats=repeats)
+        views = VIEW_RATE_OPS.get(name)
+        if views is not None:
+            ops_per_sec *= views  # report views/sec: flatness reads directly
         results[name] = round(ops_per_sec, 2)
-        print(f"{name:40s} {ops_per_sec:>14,.1f} ops/sec", flush=True)
+        unit = "views/sec" if views is not None else "ops/sec"
+        print(f"{name:40s} {ops_per_sec:>14,.1f} {unit}", flush=True)
 
     report: dict = {
         "meta": {
@@ -254,14 +416,13 @@ def main(argv: list[str] | None = None) -> int:
     }
 
     if baseline is not None:
-        before = baseline.get("results", baseline)
+        before = read_results(baseline)
         speedup = {
             name: round(results[name] / before[name], 2)
             for name in results
             if name in before and before[name]
         }
         report["before"] = before
-        report["after"] = results
         report["speedup"] = speedup
         print("\nspeedup vs baseline:")
         for name, factor in speedup.items():
@@ -272,6 +433,16 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\nwrote {args.out}")
+
+    if gate is not None:
+        failures = _check_regressions(results, gate, args.tolerance)
+        if failures:
+            print(f"\nREGRESSION vs {args.against}:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nregression gate passed vs {args.against} "
+              f"(tolerance {args.tolerance:.0%})")
     return 0
 
 

@@ -23,6 +23,10 @@ from repro.trace import Trace
 class ByzantineValidator:
     """Base class for adversary-controlled validator nodes."""
 
+    # Opt out of network-side dedup: Byzantine observers may want every
+    # delivered copy (traffic watching), exactly as before shared fanout.
+    dedup_tokens = None
+
     def __init__(
         self,
         validator_id: int,

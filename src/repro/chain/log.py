@@ -56,6 +56,8 @@ class Log:
         "_prefixes",
         "_tx_tuple",
         "_tx_set",
+        "_token_ctx",
+        "_token",
     )
 
     def __init__(self, blocks: Sequence[Block]) -> None:
@@ -84,6 +86,8 @@ class Log:
         self._prefixes: list[Log] | None = None
         self._tx_tuple: tuple[Transaction, ...] | None = None
         self._tx_set: frozenset[Transaction] | None = None
+        self._token_ctx: object | None = None  # RunContext that pinned _token
+        self._token: int = -1
 
     @classmethod
     def _trusted(
@@ -269,8 +273,21 @@ class Log:
 
         cached = self._tx_set
         if cached is None:
-            cached = frozenset(
-                tx for block in self._blocks for tx in block.transactions
+            # Extend the nearest ancestor's cached set instead of
+            # re-walking the whole chain: the one-frozenset copy is the
+            # unavoidable cost, the per-block scan covers only the
+            # suffix above that ancestor.
+            node = self._parent
+            while node is not None and node._tx_set is None:
+                node = node._parent
+            if node is not None:
+                base, start = node._tx_set, len(node._blocks)
+            else:
+                base, start = frozenset(), 0
+            cached = base.union(
+                tx2
+                for block in self._blocks[start:]
+                for tx2 in block.transactions
             )
             self._tx_set = cached
         return tx in cached

@@ -128,6 +128,21 @@ class TransactionPool:
         seen = set(included)
         return [tx for tx in self.valid_transactions(before) if tx not in seen]
 
+    def pending_for_log(self, log, before: int | None = None) -> list[Transaction]:
+        """Valid transactions not yet in ``log`` — the proposer hot path.
+
+        Equivalent to ``pending_for(log.transactions(), before)`` but
+        pays nothing proportional to the chain when the visible pool is
+        empty (the common case in long stable runs), and otherwise tests
+        membership against the log's cached transaction set instead of
+        materialising and re-hashing the full transaction list per view.
+        """
+
+        visible = self.valid_transactions(before)
+        if not visible:
+            return []
+        return [tx for tx in visible if not log.contains_transaction(tx)]
+
 
 @dataclass
 class ConfirmationRecord:

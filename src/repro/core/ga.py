@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.chain.log import Log
-from repro.core.quorum import majority_chain, pair_intersection
+from repro.core.quorum import majority_chain, majority_tip, pair_intersection
 from repro.core.state import HandleOutcome, LogView, Snapshot
 from repro.net.messages import Envelope, LogMessage
 
@@ -133,12 +133,14 @@ class GaInstance:
     * :meth:`compute_outputs` at each output phase.
     """
 
-    def __init__(self, spec: GaSpec, key: tuple, start_time: int, delta: int) -> None:
+    def __init__(
+        self, spec: GaSpec, key: tuple, start_time: int, delta: int, ctx=None
+    ) -> None:
         self.spec = spec
         self.key = key
         self.start_time = start_time
         self.delta = delta
-        self.view_state = LogView()
+        self.view_state = LogView(ctx)
         self.snapshots: dict[int, Snapshot] = {}
         self.input_log: Log | None = None
 
@@ -178,28 +180,55 @@ class GaInstance:
             return True
         return self.has_snapshot(spec.snapshot_offset)
 
-    def compute_outputs(self, grade: int) -> list[Log] | None:
-        """Run the output phase for ``grade``.
+    def _phase_pairs(self, grade: int) -> Snapshot | None:
+        """The support pair set for ``grade``'s output phase, or ``None``.
 
-        Returns ``None`` when the host does not participate (missing
-        snapshot), else the chain of output logs, shortest first (possibly
-        empty).  The support set is ``V^snap ∩ V^now`` for graded phases
-        and the live ``V`` for grade 0; ``|S|`` is always read live.
+        The support set is ``V^snap ∩ V^now`` for graded phases and the
+        live ``V`` for grade 0 (the naive ablation variant skips the
+        intersection); ``None`` means the required snapshot is missing —
+        the host does not participate.
         """
 
         spec = self.spec.grade_spec(grade)
         live_pairs = self.view_state.pairs()
         if spec.snapshot_offset is None:
-            pairs = live_pairs
-        else:
-            snapshot = self.snapshots.get(spec.snapshot_offset)
-            if snapshot is None:
-                return None
-            if self.spec.intersect_with_live:
-                pairs = pair_intersection(snapshot, live_pairs)
-            else:
-                pairs = snapshot  # the naive (broken) variant, for ablations
+            return live_pairs
+        snapshot = self.snapshots.get(spec.snapshot_offset)
+        if snapshot is None:
+            return None
+        if self.spec.intersect_with_live:
+            return pair_intersection(snapshot, live_pairs)
+        return snapshot  # the naive (broken) variant, for ablations
+
+    def compute_outputs(self, grade: int) -> list[Log] | None:
+        """Run the output phase for ``grade``.
+
+        Returns ``None`` when the host does not participate (missing
+        snapshot), else the chain of output logs, shortest first (possibly
+        empty).  ``|S|`` is always read live.
+        """
+
+        pairs = self._phase_pairs(grade)
+        if pairs is None:
+            return None
         return majority_chain(pairs, self.view_state.sender_count())
+
+    def compute_output_tip(self, grade: int) -> Log | None:
+        """The *highest* output of the phase for ``grade``, or ``None``.
+
+        The hot-path twin of :meth:`compute_outputs`: every protocol
+        action consumes only the highest output log, and
+        :func:`~repro.core.quorum.majority_tip` finds it walking just the
+        suffixes above the reported logs' common trunk — O(divergence),
+        not O(chain length).  ``None`` covers both "not participating"
+        (missing snapshot) and "nothing cleared the quorum", which every
+        caller treats identically.
+        """
+
+        pairs = self._phase_pairs(grade)
+        if pairs is None:
+            return None
+        return majority_tip(pairs, self.view_state.sender_count())
 
     # -- timing helpers --------------------------------------------------------
 

@@ -61,7 +61,7 @@ class ProposalBook:
             raise TypeError("ProposalBook handles PROPOSAL messages only")
         if payload.view != self._view:
             return False
-        sender = envelope.sender
+        sender = envelope.signature.signer  # Envelope.sender, inlined
         if sender in self._equivocators:
             return False
         if payload.vrf.validator_id != sender or payload.vrf.view != self._view:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable
 
-from repro.chain.log import Log
+from repro.chain.log import Log, common_prefix
 from repro.core.state import Pair
 
 
@@ -113,6 +113,68 @@ def majority_chain_naive(pairs: Iterable[Pair], sender_count: int) -> list[Log]:
     ]
     chain.sort(key=len)
     return chain
+
+
+def majority_tip(pairs: Iterable[Pair], sender_count: int) -> Log | None:
+    """The longest log with strict-majority support, or None — suffix-only.
+
+    Semantically ``majority_chain(pairs, sender_count)[-1]`` (or ``None``
+    when the chain is empty), but the cost is O(divergence depth), not
+    O(chain length): every block at or below the *common prefix of all
+    reported logs* is contained in every reported log, so its support is
+    the union of all reporting senders — one membership-count check
+    covers the whole shared trunk, and only the short suffixes above the
+    trunk are walked block-by-block.  This is what keeps per-view GA
+    output cost flat as chains grow (the delta-LOG path, PERFORMANCE.md);
+    the equivalence is pinned by randomized property tests against
+    :func:`majority_chain`.
+    """
+
+    pair_list = list(pairs)
+    if not pair_list or sender_count <= 0:
+        return None
+    by_log: dict[Log, set[int]] = {}
+    for sender, log in pair_list:
+        senders = by_log.get(log)
+        if senders is None:
+            by_log[log] = {sender}
+        else:
+            senders.add(sender)
+    if len(by_log) == 1:
+        # Uniform support — the dominant stable-run case: the single
+        # reported log is the tip iff its senders clear the quorum.
+        log, senders = next(iter(by_log.items()))
+        return log if meets_quorum(len(senders), sender_count) else None
+    distinct = list(by_log)
+    floor = distinct[0]
+    for log in distinct[1:]:
+        floor = common_prefix(floor, log)  # O(log L) binary search each
+    all_senders: set[int] = set()
+    for senders in by_log.values():
+        all_senders.update(senders)
+    if not meets_quorum(len(all_senders), sender_count):
+        # Trunk blocks carry the maximal support; if they fail the
+        # quorum, no suffix block (a subset of supporters) can pass.
+        return None
+    floor_len = len(floor)
+    # Count support only above the trunk, in the same (log, height)
+    # iteration order as majority_chain so duplicate-sender tie-breaking
+    # agrees with its stable sort + ``[-1]`` convention.
+    support: dict[str, tuple[int, Log, set[int]]] = {}
+    for log, senders in by_log.items():
+        blocks = log.blocks
+        for height in range(floor_len + 1, len(blocks) + 1):
+            block_id = blocks[height - 1].block_id
+            entry = support.get(block_id)
+            if entry is None:
+                support[block_id] = (height, log, set(senders))
+            else:
+                entry[2].update(senders)
+    best_height, best_rep = floor_len, floor
+    for height, rep, senders in support.values():
+        if height >= best_height and meets_quorum(len(senders), sender_count):
+            best_height, best_rep = height, rep
+    return best_rep.prefix(best_height)
 
 
 def highest_majority(pairs: Iterable[Pair], sender_count: int) -> Log | None:

@@ -60,10 +60,19 @@ class EquivocationEvidence:
 
 
 class LogView:
-    """Live ``V``/``E`` state for one GA instance at one validator."""
+    """Live ``V``/``E`` state for one GA instance at one validator.
 
-    def __init__(self) -> None:
+    When given the run's :class:`~repro.runctx.RunContext`, duplicate
+    checks compare interned int tokens instead of 64-char log-id strings,
+    and every accepted log is noted in the run's lineage store (tip-id →
+    shared log instance).  Without a context the semantics are identical,
+    via plain ``Log`` equality.
+    """
+
+    def __init__(self, ctx=None) -> None:
+        self._ctx = ctx  # RunContext | None
         self._v: dict[int, Log] = {}  # sender -> unique log (V(i) != bottom)
+        self._v_tokens: dict[int, int] = {}  # sender -> interned log token
         self._v_envelopes: dict[int, Envelope] = {}
         self._equivocators: dict[int, EquivocationEvidence] = {}
         self._senders: set[int] = set()  # S: everyone who sent >= 1 LOG
@@ -77,22 +86,38 @@ class LogView:
         payload = envelope.payload
         if not isinstance(payload, LogMessage):
             raise TypeError("LogView handles LOG messages only")
-        sender = envelope.sender
+        sender = envelope.signature.signer  # Envelope.sender, inlined
         if sender in self._equivocators:
             return HandleOutcome.IGNORED
         self._senders.add(sender)
-        if sender not in self._v:
-            self._v[sender] = payload.log
+        log = payload.log
+        ctx = self._ctx
+        current = self._v.get(sender)
+        if current is None:
+            if ctx is not None:
+                self._v_tokens[sender] = ctx.log_token(log)
+                # Canonicalize to the run's first-seen instance for this
+                # tip (tip id determines the chain, so content is equal):
+                # every V across views then shares one Log object per
+                # content, with its prefix/tx caches, and later receipts
+                # of the same chain resolve to it by one tip lookup.
+                log = ctx.note_log(log)
+            self._v[sender] = log
             self._v_envelopes[sender] = envelope
             self._pairs_cache = None
             return HandleOutcome.ACCEPTED
-        if self._v[sender] == payload.log:
+        if ctx is not None:
+            duplicate = self._v_tokens[sender] == ctx.log_token(log)
+        else:
+            duplicate = current == log
+        if duplicate:
             return HandleOutcome.DUPLICATE
         evidence = EquivocationEvidence(
             first=self._v_envelopes[sender], second=envelope
         )
         del self._v[sender]
         del self._v_envelopes[sender]
+        self._v_tokens.pop(sender, None)
         self._equivocators[sender] = evidence
         self._pairs_cache = None
         return HandleOutcome.EQUIVOCATION

@@ -39,6 +39,7 @@ from repro.crypto.signatures import KeyRegistry, SigningKey
 from repro.crypto.vrf import VRF
 from repro.core.ga import GA3_SPEC, GaInstance
 from repro.core.proposals import ProposalBook
+from repro.core.state import HandleOutcome
 from repro.core.validator import BaseValidator
 from repro.net.delays import DelayPolicy, UniformDelay
 from repro.net.messages import Envelope, LogMessage, ProposalMessage
@@ -51,6 +52,10 @@ from repro.sleepy.schedule import AwakeSchedule
 from repro.trace import DecisionEvent, GaOutputEvent, ProposalEvent, Trace, VotePhaseEvent
 
 PROTOCOL_NAME = "tobsvd"
+
+# Hot-path aliases for the forward decision (HandleOutcome.should_forward).
+_ACCEPTED = HandleOutcome.ACCEPTED
+_EQUIVOCATION = HandleOutcome.EQUIVOCATION
 
 # The sleepy-model parameters TOB-SVD requires, in Delta units.
 T_B_DELTAS = 5
@@ -116,6 +121,7 @@ class TobSvdValidator(BaseValidator):
         super().__init__(validator_id, key, simulator, network, trace)
         self._context = context
         self._config = context.config
+        self._num_views = context.config.num_views
         self._time = context.config.time
         self._genesis = Log.genesis()
         self._instances: dict[int, GaInstance] = {}
@@ -135,6 +141,7 @@ class TobSvdValidator(BaseValidator):
                 key=(PROTOCOL_NAME, view),
                 start_time=self._time.view_start(view) + self._config.delta,
                 delta=self._config.delta,
+                ctx=self._run_ctx,
             )
             self._instances[view] = instance
         return instance
@@ -146,32 +153,36 @@ class TobSvdValidator(BaseValidator):
             self._books[view] = book
         return book
 
-    def _ga_outputs(self, view: int, grade: int) -> list[Log] | None:
-        """Outputs of ``GA_view`` at ``grade``; genesis for ``GA_{-1}``.
+    def _ga_tip(self, view: int, grade: int) -> Log | None:
+        """Highest output of ``GA_view`` at ``grade``; genesis for ``GA_{-1}``.
 
-        Returns ``None`` when this validator does not participate in that
-        output phase (missing snapshot), the empty list when it
-        participates but nothing clears the quorum.
+        ``None`` folds together "not participating" (missing snapshot)
+        and "nothing cleared the quorum" — every phase skips in both
+        cases.  Each phase a validator participates in with a non-empty
+        output emits exactly one :class:`GaOutputEvent` carrying that
+        highest log (the log every protocol action consumes); the full
+        graded chain remains available via :meth:`peek_ga_outputs`.
+        Tip-only computation + emission keep per-view cost flat as the
+        chain grows (PERFORMANCE.md, delta LOG handling).
         """
 
         if view < 0:
-            return [self._genesis]
+            return self._genesis
         instance = self._instance(view)
         if not instance.can_participate(grade):
             return None
-        outputs = instance.compute_outputs(grade)
-        if outputs:
-            for log in outputs:
-                self._trace.emit_ga_output(
-                    GaOutputEvent(
-                        time=self.now,
-                        ga_key=instance.key,
-                        validator=self.validator_id,
-                        log=log,
-                        grade=grade,
-                    )
+        tip = instance.compute_output_tip(grade)
+        if tip is not None:
+            self._trace.emit_ga_output(
+                GaOutputEvent(
+                    time=self.now,
+                    ga_key=instance.key,
+                    validator=self.validator_id,
+                    log=tip,
+                    grade=grade,
                 )
-        return outputs
+            )
+        return tip
 
     # -- introspection -----------------------------------------------------------
 
@@ -179,7 +190,8 @@ class TobSvdValidator(BaseValidator):
         """Compute ``GA_view``'s outputs at ``grade`` without trace emission.
 
         Used by adversaries (which may inspect any state) and by analysis
-        code; unlike :meth:`_ga_outputs` it has no side effects.
+        code; unlike :meth:`_ga_tip` it has no side effects, and it
+        returns the *full* graded chain, not just the highest log.
         """
 
         if view < 0:
@@ -221,11 +233,10 @@ class TobSvdValidator(BaseValidator):
     def _propose_phase(self, view: int) -> None:
         """Propose (t = t_v): extend the grade-0 *candidate* of GA_{v-1}."""
 
-        outputs = self._ga_outputs(view - 1, grade=0)
-        if not outputs:  # not participating, or no candidate output
+        candidate = self._ga_tip(view - 1, grade=0)
+        if candidate is None:  # not participating, or no candidate output
             return
-        candidate = outputs[-1]
-        batch = self._context.pool.pending_for(candidate.transactions(), before=self.now)
+        batch = self._context.pool.pending_for_log(candidate, before=self.now)
         proposal_log = candidate.append_block(batch, proposer=self.validator_id, view=view)
         vrf_output = self._context.vrf.evaluate(self.validator_id, view)
         self.broadcast(ProposalMessage(view=view, log=proposal_log, vrf=vrf_output))
@@ -242,10 +253,9 @@ class TobSvdValidator(BaseValidator):
     def _vote_phase(self, view: int) -> None:
         """Vote (t = t_v + Δ): input to GA_v a proposal extending the lock."""
 
-        lock_outputs = self._ga_outputs(view - 1, grade=1)
-        if not lock_outputs:  # asleep at t_v - Δ, or no grade-1 output: skip
+        lock = self._ga_tip(view - 1, grade=1)
+        if lock is None:  # asleep at t_v - Δ, or no grade-1 output: skip
             return
-        lock = lock_outputs[-1]
         best = self._book(view).best_extending(lock)
         input_log = best.message.log if best is not None else lock
         instance = self._instance(view)
@@ -265,9 +275,8 @@ class TobSvdValidator(BaseValidator):
     def _decide_phase(self, view: int) -> None:
         """Decide (t = t_v + 2Δ) and store GA_v's V^Δ snapshot."""
 
-        outputs = self._ga_outputs(view - 1, grade=2)
-        if outputs:
-            decided = outputs[-1]
+        decided = self._ga_tip(view - 1, grade=2)
+        if decided is not None:
             self.decided.append((self.now, decided))
             if len(decided) > len(self.highest_decided):
                 self.highest_decided = decided
@@ -289,19 +298,26 @@ class TobSvdValidator(BaseValidator):
     def handle_envelope(self, envelope: Envelope, time: int) -> None:
         payload = envelope.payload
         if isinstance(payload, LogMessage):
-            key = tuple(payload.ga_key)
+            key = payload.ga_key
             if len(key) != 2 or key[0] != PROTOCOL_NAME:
                 return
             view = key[1]
-            if not isinstance(view, int) or not 0 <= view <= self._config.num_views:
+            if not isinstance(view, int) or not 0 <= view <= self._num_views:
                 return
-            outcome = self._instance(view).handle_log(envelope)
-            if outcome.should_forward:
+            instance = self._instances.get(view)
+            if instance is None:
+                instance = self._instance(view)
+            outcome = instance.view_state.handle(envelope)
+            if outcome is _ACCEPTED or outcome is _EQUIVOCATION:
                 self.forward(envelope)
         elif isinstance(payload, ProposalMessage):
-            if not 0 <= payload.view <= self._config.num_views:
+            view = payload.view
+            if not 0 <= view <= self._num_views:
                 return
-            if self._book(payload.view).handle(envelope):
+            book = self._books.get(view)
+            if book is None:
+                book = self._book(view)
+            if book.handle(envelope):
                 self.forward(envelope)
 
 

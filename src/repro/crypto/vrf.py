@@ -44,21 +44,34 @@ class VrfOutput:
 
 
 class VRF:
-    """A per-system VRF keyed by a global seed."""
+    """A per-system VRF keyed by a global seed.
+
+    Evaluations are memoised per ``(validator_id, view)``: the function
+    is deterministic in the seed, and every proposal a validator accepts
+    triggers a verification, so the n² verifications per view collapse
+    to dict lookups.  The memo is instance-scoped (the VRF lives in one
+    run's ``ProtocolContext``), so it dies with the run.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
+        self._memo: dict[tuple[int, int], VrfOutput] = {}
 
     def evaluate(self, validator_id: int, view: int) -> VrfOutput:
         """Evaluate the VRF of ``validator_id`` for ``view``."""
 
-        proof = stable_digest(("vrf", self._seed, validator_id, view))
-        return VrfOutput(
-            validator_id=validator_id,
-            view=view,
-            value=digest_to_unit_float(proof),
-            proof=proof,
-        )
+        key = (validator_id, view)
+        cached = self._memo.get(key)
+        if cached is None:
+            proof = stable_digest(("vrf", self._seed, validator_id, view))
+            cached = VrfOutput(
+                validator_id=validator_id,
+                view=view,
+                value=digest_to_unit_float(proof),
+                proof=proof,
+            )
+            self._memo[key] = cached
+        return cached
 
     def verify(self, output: VrfOutput) -> bool:
         """Verify a claimed VRF output."""

@@ -16,7 +16,17 @@ from repro.net.messages import Envelope
 
 
 class DelayPolicy(Protocol):
-    """Chooses the delivery delay, in ticks, for one point-to-point send."""
+    """Chooses the delivery delay, in ticks, for one point-to-point send.
+
+    A policy may additionally expose a ``fixed_delay`` int attribute
+    declaring that *every* delivery it schedules takes exactly that many
+    ticks, independent of sender, recipient, envelope and time.  The
+    network reads it once per policy installation and uses it to collapse
+    a whole fanout into one batched delivery event (shared-fanout fast
+    path); policies without the attribute fall back to the per-recipient
+    :meth:`delay` loop, so the hook is purely an optimisation and must
+    agree with :meth:`delay`.
+    """
 
     def delay(
         self, sender: int, recipient: int, envelope: Envelope, send_time: int
@@ -34,6 +44,7 @@ class UniformDelay:
 
     def __init__(self, delta: int) -> None:
         self._delta = delta
+        self.fixed_delay = delta
 
     def delay(self, sender: int, recipient: int, envelope: Envelope, send_time: int) -> int:
         return self._delta
@@ -44,6 +55,7 @@ class EagerDelay:
 
     def __init__(self, delta: int) -> None:
         self._delta = delta
+        self.fixed_delay = min(1, delta)
 
     def delay(self, sender: int, recipient: int, envelope: Envelope, send_time: int) -> int:
         return min(1, self._delta)

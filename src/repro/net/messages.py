@@ -156,13 +156,18 @@ class Envelope:
     def size_units(self) -> int:
         """Message size proxy in "block" units (L in Table 1's complexity).
 
-        Log-bearing messages cost the log length; others cost 1.
+        Log-bearing messages cost the log length; others cost 1.  Memoised
+        on the (immutable) envelope: accounting touches it once per
+        delivery batch of a shared-fanout envelope.
         """
 
-        log = getattr(self.payload, "log", None)
-        if log is None:
-            return 1
-        return len(log)
+        try:
+            return self._size_units  # type: ignore[attr-defined]
+        except AttributeError:
+            log = getattr(self.payload, "log", None)
+            size = 1 if log is None else len(log)
+            object.__setattr__(self, "_size_units", size)
+            return size
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Envelope({type(self.payload).__name__} from v{self.sender})"

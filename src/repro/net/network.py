@@ -19,6 +19,17 @@ Forwarding ("at any time, honest validators forward any message received")
 is invoked by protocol code via :meth:`Network.forward`; the network itself
 never duplicates traffic, which keeps the echo rules (at most two LOG
 messages per sender, Section 3.3) in one place — the validator state layer.
+
+Shared-fanout delivery (PERFORMANCE.md): a broadcast or forward verifies
+its envelope once and delivers the *same* :class:`Envelope` object to all
+recipients.  When the delay policy declares a recipient-independent delay
+(a ``fixed_delay`` attribute, e.g. on
+:class:`~repro.net.delays.UniformDelay`), the whole fanout collapses to
+at most two scheduled events over precomputed recipient
+tuples — no per-recipient policy call, list building, or allocation — and
+delivery accounting is applied once per batch with identical totals.  The
+network also owns the run's :class:`~repro.runctx.RunContext`, handed to
+validators so hot dedup sets compare interned int tokens.
 """
 
 from __future__ import annotations
@@ -30,11 +41,24 @@ from typing import Protocol
 from repro.crypto.signatures import KeyRegistry, SignatureError
 from repro.net.delays import DelayPolicy
 from repro.net.messages import Envelope
+from repro.runctx import RunContext
 from repro.sim.simulator import EventPriority, Simulator
+
+_DELIVERY = EventPriority.DELIVERY
 
 
 class NetworkNode(Protocol):
-    """What the network needs from a validator object."""
+    """What the network needs from a validator object.
+
+    A node may additionally expose ``dedup_tokens`` (a mutable set of
+    interned envelope tokens) together with ``receive_new(envelope,
+    time)``: the network then performs content dedup *once per shared
+    envelope* on the node's behalf — the token is interned once per
+    delivery batch and duplicate copies never pay a ``receive`` call.
+    Nodes without the attribute (or with it set to ``None``, e.g.
+    Byzantine observers that want every copy) receive every delivery via
+    plain :meth:`receive`.
+    """
 
     validator_id: int
     awake: bool
@@ -54,9 +78,14 @@ class MessageStats:
     by_type: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def record_delivery(self, envelope: Envelope) -> None:
-        self.deliveries += 1
-        self.weighted_deliveries += envelope.size_units()
-        self.by_type[type(envelope.payload).__name__] += 1
+        self.record_deliveries(envelope, 1)
+
+    def record_deliveries(self, envelope: Envelope, count: int) -> None:
+        """Count ``count`` point-to-point deliveries of one shared envelope."""
+
+        self.deliveries += count
+        self.weighted_deliveries += envelope.size_units() * count
+        self.by_type[type(envelope.payload).__name__] += count
 
 
 class Network:
@@ -83,11 +112,24 @@ class Network:
         self._delta = delta
         self._registry = registry
         self._policy = delay_policy
+        self._fixed_delay = self._clamped_fixed_delay(delay_policy)
         self._buffer_while_asleep = buffer_while_asleep
         self._nodes: dict[int, NetworkNode] = {}
         self._pending: dict[int, list[Envelope]] = defaultdict(list)
         self.stats = MessageStats()
         self.dropped_while_asleep = 0
+        # One intern/lineage context per run; validators read it off the
+        # network at construction (docs/ARCHITECTURE.md, "RunContext").
+        self.run_context = RunContext()
+        # Shared-fanout recipient plans holding ``(node, dedup_set)``
+        # pairs, in registration order (the order the per-recipient loop
+        # would visit) — delivery then skips both the per-recipient
+        # id->node lookup and the dedup-capability probe.  Forward plans
+        # are per *forwarder* only (O(n) plans, not O(n²)); the original
+        # sender is skipped at delivery time by identity.  Rebuilt
+        # lazily; any register() call invalidates them.
+        self._bcast_segments: dict[int, tuple] = {}
+        self._fwd_plans: dict[int, tuple] = {}
 
     @property
     def delta(self) -> int:
@@ -103,6 +145,8 @@ class Network:
         if node.validator_id in self._nodes:
             raise ValueError(f"validator {node.validator_id} already registered")
         self._nodes[node.validator_id] = node
+        self._bcast_segments.clear()
+        self._fwd_plans.clear()
 
     def node(self, validator_id: int) -> NetworkNode:
         return self._nodes[validator_id]
@@ -111,6 +155,15 @@ class Network:
         """Swap the delay policy (used by adversaries mid-run)."""
 
         self._policy = policy
+        self._fixed_delay = self._clamped_fixed_delay(policy)
+
+    def _clamped_fixed_delay(self, policy: DelayPolicy) -> int | None:
+        """The policy's declared recipient-independent delay, Delta-clamped."""
+
+        fixed = getattr(policy, "fixed_delay", None)
+        if fixed is None:
+            return None
+        return max(0, min(fixed, self._delta))
 
     # -- sending -----------------------------------------------------------
 
@@ -119,13 +172,26 @@ class Network:
 
         The signature is verified once here; an invalid signature is a
         simulator bug (honest code signs correctly, Byzantine code owns its
-        keys), so it raises rather than being silently dropped.
+        keys), so it raises rather than being silently dropped.  Every
+        recipient then shares this one verified envelope object.
         """
 
         self._registry.require_valid(envelope.signature, envelope.payload.digest())
         self.stats.sends += 1
         sender = envelope.sender
-        now = self._sim.now
+        now = self._sim._now
+        delay = self._fixed_delay
+        if delay is not None:
+            # Recipient-independent delay: one batched event per
+            # contiguous segment around the sender's self-delivery.
+            before, sender_node, after = self._broadcast_segments(sender)
+            if before:
+                self._schedule_batch(now + delay, envelope, before)
+            if sender_node is not None:
+                self._deliver(sender, envelope)
+            if after:
+                self._schedule_batch(now + delay, envelope, after)
+            return
         # Recipients before and after the sender form two contiguous
         # scheduling segments: the sender's synchronous self-delivery may
         # itself schedule events (forwards), so each segment is flushed in
@@ -155,7 +221,26 @@ class Network:
         """
 
         self.stats.sends += 1
-        now = self._sim.now
+        now = self._sim._now
+        delay = self._fixed_delay
+        if delay is not None:
+            recipients = self._fwd_plans.get(forwarder_id)
+            if recipients is None:
+                recipients = self._fwd_plans[forwarder_id] = tuple(
+                    (node, getattr(node, "dedup_tokens", None))
+                    for vid, node in self._nodes.items()
+                    if vid != forwarder_id
+                )
+            if recipients:
+                skip = self._nodes.get(envelope.signature.signer)
+                self._sim.schedule_callback(
+                    now + delay,
+                    _DELIVERY,
+                    lambda r=recipients, e=envelope, s=skip: self._deliver_many(
+                        r, e, s
+                    ),
+                )
+            return
         groups: dict[int, list[int]] = {}
         for vid in self._nodes:
             if vid == forwarder_id or vid == envelope.sender:
@@ -177,14 +262,45 @@ class Network:
         self._registry.require_valid(envelope.signature, envelope.payload.digest())
         self.stats.sends += 1
         delay = max(0, min(delay, self._delta))
-        self._sim.schedule(
+        self._sim.schedule_callback(
             self._sim.now + delay,
-            EventPriority.DELIVERY,
+            _DELIVERY,
             lambda v=recipient, e=envelope: self._deliver(v, e),
-            note=f"direct to v{recipient}",
         )
 
+    # -- fanout plans ------------------------------------------------------
+
+    def _broadcast_segments(self, sender: int) -> tuple:
+        """Registration-order recipient nodes split around the sender.
+
+        Returns ``(before, sender_node, after)`` where the outer entries
+        are node tuples and ``sender_node`` is None for an unregistered
+        sender.
+        """
+
+        cached = self._bcast_segments.get(sender)
+        if cached is None:
+            pairs = [
+                (node, getattr(node, "dedup_tokens", None))
+                for node in self._nodes.values()
+            ]
+            sender_node = self._nodes.get(sender)
+            if sender_node is not None:
+                pivot = list(self._nodes).index(sender)
+                cached = (tuple(pairs[:pivot]), sender_node, tuple(pairs[pivot + 1 :]))
+            else:
+                cached = (tuple(pairs), None, ())
+            self._bcast_segments[sender] = cached
+        return cached
+
     # -- delivery ----------------------------------------------------------
+
+    def _schedule_batch(self, time: int, envelope: Envelope, recipients: tuple) -> None:
+        self._sim.schedule_callback(
+            time,
+            _DELIVERY,
+            lambda r=recipients, e=envelope: self._deliver_many(r, e),
+        )
 
     def _flush_groups(
         self, now: int, origin: int, envelope: Envelope, groups: dict[int, list[int]]
@@ -196,17 +312,56 @@ class Network:
         in, since their sequence numbers would have been consecutive.
         """
 
+        nodes = self._nodes
         for delay, vids in groups.items():
-            self._sim.schedule(
+            self._schedule_batch(
                 now + delay,
-                EventPriority.DELIVERY,
-                lambda r=tuple(vids), e=envelope: self._deliver_many(r, e),
-                note=f"deliver x{len(vids)} from v{origin}",
+                envelope,
+                tuple(
+                    (node, getattr(node, "dedup_tokens", None))
+                    for node in (nodes[vid] for vid in vids)
+                ),
             )
 
-    def _deliver_many(self, recipients: tuple[int, ...], envelope: Envelope) -> None:
-        for vid in recipients:
-            self._deliver(vid, envelope)
+    def _deliver_many(
+        self, recipients: tuple, envelope: Envelope, skip: NetworkNode | None = None
+    ) -> None:
+        """Deliver one shared envelope to a batch of recipient nodes.
+
+        ``skip`` (a forward's original sender) is excluded by identity —
+        per-forwarder plans stay O(n) instead of O(n²) per run.
+        Accounting is aggregated over the batch (identical totals to
+        per-recipient recording — counters are only read between events).
+        """
+
+        now = self._sim._now
+        buffering = self._buffer_while_asleep
+        delivered = 0
+        token = -1  # interned lazily, once per batch of the shared envelope
+        for node, seen in recipients:
+            if node is skip:
+                continue
+            if not node.awake:
+                if buffering:
+                    self._pending[node.validator_id].append(envelope)
+                else:
+                    self.dropped_while_asleep += 1
+                continue
+            delivered += 1
+            if seen is None:
+                node.receive(envelope, now)
+                continue
+            if token == -1:
+                token = self.run_context.envelope_token(envelope)
+            if token not in seen:
+                seen.add(token)
+                node.receive_new(envelope, now)
+        if delivered:
+            # record_deliveries, inlined for the per-batch hot path
+            stats = self.stats
+            stats.deliveries += delivered
+            stats.weighted_deliveries += envelope.size_units() * delivered
+            stats.by_type[type(envelope.payload).__name__] += delivered
 
     def _deliver(self, recipient: int, envelope: Envelope) -> None:
         node = self._nodes[recipient]

@@ -1,24 +1,36 @@
 """The event queue at the heart of every experiment.
 
-The simulator is deliberately minimal: a priority queue of
-``(time, priority, seq, event)`` entries and a run loop.  Determinism is
-a hard requirement — every experiment in EXPERIMENTS.md is reproducible
-from its seed — so the only tie-breakers are the explicit priority class
-and a monotonically increasing sequence number.
+The simulator is deliberately minimal: a scheduler over
+``(time, priority, seq)``-ordered callbacks and a run loop.  Determinism
+is a hard requirement — every experiment in EXPERIMENTS.md is
+reproducible from its seed — so the only tie-breakers are the explicit
+priority class and a monotonically increasing sequence number.
 
-Heap entries are plain tuples: comparisons stay in C (the unique ``seq``
-guarantees the trailing :class:`ScheduledEvent` handle is never compared),
-and the handle itself is a ``__slots__`` object rather than an
-``order=True`` dataclass, which keeps per-event allocation small on the
-broadcast hot path.
+Scheduling is a **calendar/bucket queue**, not a heap: all event times
+are integer ticks with a bounded horizon (a run of ``V`` views spans
+``O(V·Δ)`` ticks while dispatching millions of events), so the queue
+keeps one bucket per tick holding one append-only list per priority
+class.  ``schedule`` is an O(1) append; dispatch scans the tick cursor
+forward (amortised O(horizon) over a whole run, trivially dominated by
+the event count).  Within a bucket, append order *is* ``seq`` order —
+``seq`` increases monotonically — and the dispatch loop restarts from
+the most urgent priority class after every callback, which reproduces
+exactly the ``(time, priority, seq)`` total order a heap would yield
+(see ``tests/property/test_scheduler_equivalence.py``, which checks the
+bucket queue against :class:`HeapSimulator` event-for-event).
+
+The :class:`ScheduledEvent` handle is a ``__slots__`` object rather than
+an ``order=True`` dataclass, which keeps per-event allocation small on
+the broadcast hot path.
 """
 
 from __future__ import annotations
 
 import heapq
-import random
 from enum import IntEnum
 from typing import Callable
+
+import random
 
 
 class EventPriority(IntEnum):
@@ -67,9 +79,12 @@ class Simulator:
     """Deterministic discrete-event scheduler with integer time."""
 
     def __init__(self, seed: int = 0) -> None:
-        # heap of (time, priority, seq, event); seq is unique, so tuple
-        # comparison never reaches the event object.
-        self._queue: list[tuple[int, int, int, ScheduledEvent]] = []
+        # tick -> one list per priority class; entries are ScheduledEvent
+        # handles or bare callables (schedule_callback), appended in seq
+        # order (seq is monotone), so list order is dispatch order.
+        self._buckets: dict[int, list[list]] = {}
+        self._bucket_pool: list[list[list]] = []  # drained buckets, reused
+        self._max_time = 0  # largest tick with a (possibly drained) bucket
         self._seq = 0
         self._now = 0
         self._running = False
@@ -103,9 +118,21 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         event = ScheduledEvent(time, int(priority), seq, callback, note, self)
-        heapq.heappush(self._queue, (time, event.priority, seq, event))
+        self._bucket_at(time)[event.priority].append(event)
         self._live += 1
         return event
+
+    def _bucket_at(self, time: int) -> list[list]:
+        """The bucket for ``time``, created (from the pool) on first use."""
+
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else [[], [], [], []]
+            self._buckets[time] = bucket
+            if time > self._max_time:
+                self._max_time = time
+        return bucket
 
     def schedule_in(
         self,
@@ -118,18 +145,97 @@ class Simulator:
 
         return self.schedule(self._now + delay, priority, callback, note)
 
+    def schedule_callback(
+        self, time: int, priority: EventPriority, callback: Callable[[], None]
+    ) -> None:
+        """Fire-and-forget fast path: schedule with no cancellable handle.
+
+        The broadcast/forward fanout schedules hundreds of thousands of
+        delivery events per run and never cancels one; storing the bare
+        callback in the bucket skips the :class:`ScheduledEvent`
+        allocation entirely.  Dispatch order is identical to
+        :meth:`schedule` — within a ``(time, priority)`` bucket list,
+        append order *is* seq order.
+        """
+
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        self._bucket_at(time)[int(priority)].append(callback)
+        self._live += 1
+
     @staticmethod
     def cancel(event: ScheduledEvent) -> None:
-        """Cancel a scheduled event (lazy removal from the heap).
+        """Cancel a scheduled event (lazy removal from its bucket).
 
-        A no-op on events that already ran (``_sim`` is cleared on pop) or
-        were already cancelled, so the live pending counter stays exact.
+        A no-op on events that already ran (``_sim`` is cleared on
+        dispatch) or were already cancelled, so the live pending counter
+        stays exact.
         """
 
         sim = event._sim
         if sim is not None and not event.cancelled:
             event.cancelled = True
             sim._live -= 1
+
+    def _drain_bucket(
+        self, bucket: list[list[ScheduledEvent]], limit: int | None = None
+    ) -> int:
+        """Dispatch one tick's bucket in ``(priority, seq)`` order.
+
+        Callbacks may append to this very bucket (a zero-delay delivery,
+        a control action at the current tick); the scan restarts from the
+        most urgent priority class after every callback so such arrivals
+        are sequenced exactly as a ``(time, priority, seq)`` heap would
+        sequence them.  Returns the number of events executed; raises
+        once more than ``limit`` events have run (when given).
+        """
+
+        # The four priority lists are stable objects (only ever appended
+        # to), so locals stay valid across callbacks; the unrolled
+        # cascade restarts at CONTROL after every dispatch, reproducing
+        # heap order for same-tick arrivals at any priority.
+        l0, l1, l2, l3 = bucket
+        i0 = i1 = i2 = i3 = 0
+        executed = 0
+        while True:
+            if i0 < len(l0):
+                event = l0[i0]
+                i0 += 1
+            elif i1 < len(l1):
+                event = l1[i1]
+                i1 += 1
+            elif i2 < len(l2):
+                event = l2[i2]
+                i2 += 1
+            elif i3 < len(l3):
+                event = l3[i3]
+                i3 += 1
+            else:
+                return executed
+            if event.__class__ is ScheduledEvent:
+                if event.cancelled:
+                    continue
+                event._sim = None  # executed: late cancel() becomes a no-op
+                callback = event.callback
+            else:
+                callback = event  # bare fire-and-forget callable
+            self._live -= 1
+            self._events_processed += 1
+            callback()
+            executed += 1
+            if limit is not None and executed > limit:
+                raise RuntimeError("event-loop safety limit exceeded")
+
+    def _recycle(self, bucket: list[list]) -> None:
+        """Return a drained bucket's lists to the reuse pool (bounded)."""
+
+        pool = self._bucket_pool
+        if len(pool) < 32:
+            for events in bucket:
+                events.clear()
+            pool.append(bucket)
 
     def run_until(self, end_time: int) -> None:
         """Process every event scheduled strictly before or at ``end_time``.
@@ -141,17 +247,21 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is not re-entrant")
         self._running = True
-        queue = self._queue
+        buckets = self._buckets
+        tick = self._now
         try:
-            while queue and queue[0][0] <= end_time:
-                event = heapq.heappop(queue)[3]
-                if event.cancelled:
+            while tick <= end_time:
+                bucket = buckets.get(tick)
+                if bucket is None:
+                    if tick >= self._max_time:
+                        break  # no bucket left at any later tick
+                    tick += 1
                     continue
-                event._sim = None  # executed: late cancel() becomes a no-op
-                self._live -= 1
-                self._now = event.time
-                self._events_processed += 1
-                event.callback()
+                self._now = tick
+                self._drain_bucket(bucket)
+                del buckets[tick]
+                self._recycle(bucket)
+                tick += 1
             self._now = max(self._now, end_time)
         finally:
             self._running = False
@@ -162,6 +272,92 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is not re-entrant")
         self._running = True
+        buckets = self._buckets
+        tick = self._now
+        remaining = safety_limit
+        try:
+            while tick <= self._max_time:
+                bucket = buckets.get(tick)
+                if bucket is None:
+                    tick += 1
+                    continue
+                self._now = tick
+                remaining -= self._drain_bucket(bucket, limit=remaining)
+                del buckets[tick]
+                self._recycle(bucket)
+                tick += 1
+        finally:
+            self._running = False
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled queued events (live counter, O(1))."""
+
+        return self._live
+
+
+class HeapSimulator(Simulator):
+    """The pre-bucket-queue heap scheduler, kept as a reference oracle.
+
+    Semantically identical to :class:`Simulator`: a binary heap of
+    ``(time, priority, seq, event)`` tuples dispatched in ascending
+    order.  Retained so randomized equivalence tests can check the
+    bucket queue event-for-event against an independent implementation
+    (and for workloads with enormous sparse horizons, where a heap's
+    O(log n) pop beats a tick scan).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._queue: list[tuple[int, int, int, ScheduledEvent]] = []
+
+    def schedule(
+        self,
+        time: int,
+        priority: EventPriority,
+        callback: Callable[[], None],
+        note: str = "",
+    ) -> ScheduledEvent:
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, int(priority), seq, callback, note, self)
+        heapq.heappush(self._queue, (time, event.priority, seq, event))
+        self._live += 1
+        return event
+
+    def schedule_callback(
+        self, time: int, priority: EventPriority, callback: Callable[[], None]
+    ) -> None:
+        """Handle-free scheduling, via a full handle (reference semantics)."""
+
+        self.schedule(time, priority, callback)
+
+    def run_until(self, end_time: int) -> None:
+        if self._running:
+            raise RuntimeError("simulator is not re-entrant")
+        self._running = True
+        queue = self._queue
+        try:
+            while queue and queue[0][0] <= end_time:
+                event = heapq.heappop(queue)[3]
+                if event.cancelled:
+                    continue
+                event._sim = None
+                self._live -= 1
+                self._now = event.time
+                self._events_processed += 1
+                event.callback()
+            self._now = max(self._now, end_time)
+        finally:
+            self._running = False
+
+    def run_to_exhaustion(self, safety_limit: int = 10_000_000) -> None:
+        if self._running:
+            raise RuntimeError("simulator is not re-entrant")
+        self._running = True
         queue = self._queue
         processed = 0
         try:
@@ -169,7 +365,7 @@ class Simulator:
                 event = heapq.heappop(queue)[3]
                 if event.cancelled:
                     continue
-                event._sim = None  # executed: late cancel() becomes a no-op
+                event._sim = None
                 self._live -= 1
                 self._now = event.time
                 self._events_processed += 1
@@ -179,8 +375,3 @@ class Simulator:
                     raise RuntimeError("event-loop safety limit exceeded")
         finally:
             self._running = False
-
-    def pending_count(self) -> int:
-        """Number of not-yet-cancelled queued events (live counter, O(1))."""
-
-        return self._live

@@ -16,7 +16,7 @@ from typing import Iterator
 from repro.chain.log import Log
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposalEvent:
     """A validator broadcast a proposal for a view."""
 
@@ -27,7 +27,7 @@ class ProposalEvent:
     vrf_value: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VotePhaseEvent:
     """A validator performed a *voting phase*: it sent a new message.
 
@@ -46,7 +46,7 @@ class VotePhaseEvent:
     log: Log
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GaOutputEvent:
     """A validator output (log, grade) from a GA instance."""
 
@@ -57,7 +57,7 @@ class GaOutputEvent:
     grade: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecisionEvent:
     """A validator decided (delivered) a log."""
 
@@ -67,7 +67,7 @@ class DecisionEvent:
     log: Log
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControlEvent:
     """Wake/sleep/corruption bookkeeping."""
 

@@ -1,0 +1,57 @@
+"""``majority_tip`` is pinned to ``majority_chain[-1]`` on arbitrary inputs.
+
+The suffix-only tip computation (the delta-LOG quorum path) must agree
+with the full chain computation — including on equivocation-heavy pair
+sets where one sender backs several conflicting logs, where the
+tie-breaking conventions of the two implementations have to coincide.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.quorum import highest_majority, majority_chain, majority_tip
+from tests.conftest import chain_of, fork_of
+from tests.property.test_fastpath_properties import multi_pair_sets
+
+
+def reference_tip(pairs, sender_count):
+    chain = majority_chain(pairs, sender_count)
+    return chain[-1] if chain else None
+
+
+class TestMajorityTipEquivalence:
+    @settings(max_examples=300)
+    @given(multi_pair_sets())
+    def test_tip_matches_chain_tail(self, data):
+        pairs, sender_count = data
+        assert majority_tip(pairs, sender_count) == reference_tip(pairs, sender_count)
+
+    @settings(max_examples=100)
+    @given(multi_pair_sets())
+    def test_tip_matches_highest_majority(self, data):
+        pairs, sender_count = data
+        assert majority_tip(pairs, sender_count) == highest_majority(
+            pairs, sender_count
+        )
+
+    def test_deep_shared_trunk_with_shallow_forks(self):
+        # The case the suffix walk optimises: a long agreed trunk with a
+        # two-way fork at the very tip.
+        trunk = chain_of(60)
+        fork_a, fork_b = fork_of(trunk, 1), fork_of(trunk, 2)
+        pairs = frozenset(
+            (vid, fork_a if vid % 3 else fork_b) for vid in range(9)
+        )
+        assert majority_tip(pairs, 9) == reference_tip(pairs, 9)
+        # Majority backs fork_a (6 of 9); the tip is the fork, not the trunk.
+        assert majority_tip(pairs, 9) == fork_a
+
+    def test_no_quorum_returns_none(self):
+        log = chain_of(3)
+        pairs = frozenset({(0, log), (1, log)})
+        assert majority_tip(pairs, 5) == reference_tip(pairs, 5) is None
+
+    def test_empty_and_degenerate_inputs(self):
+        assert majority_tip(frozenset(), 4) is None
+        assert majority_tip({(0, chain_of(1))}, 0) is None
+        log = chain_of(2)
+        assert majority_tip({(0, log)}, 1) == log
