@@ -22,7 +22,11 @@ Report schema: one canonical ``results`` section (op -> ops/sec).  With
 ``--baseline`` the report additionally embeds the baseline numbers as
 ``before`` and per-op ``speedup`` factors — ``results`` is never
 duplicated (earlier reports wrote an identical ``after`` copy;
-:func:`read_results` still accepts those legacy files).
+:func:`read_results` still accepts those legacy files).  A ``memory``
+section (skipped under ``--only``) records the long-horizon retention
+comparison — events emitted vs retained, streaming-reducer state size,
+and tracemalloc peak per trace mode — outside ``results`` so the
+regression gate only judges throughput.
 
 ``--against`` is the regression gate: measure, compare each op present
 in both reports, and exit non-zero if any current number falls below
@@ -50,6 +54,7 @@ from typing import Callable
 VIEW_RATE_OPS = {
     "e2e.view_rate_n8_v8": 8,
     "e2e.view_rate_n8_v32": 32,
+    "e2e.long_horizon_n8_v256": 256,
 }
 
 
@@ -217,6 +222,15 @@ def _build_ops() -> dict[str, Callable[[], object]]:
         result = protocol.run()
         return len(result.trace.decisions)
 
+    def op_long_horizon_v256():
+        # The bounded-retention long-horizon workload: reducers only, no
+        # event retention — the configuration long sweeps run under.
+        protocol = stable_scenario(
+            n=8, num_views=256, delta=2, seed=0, trace_mode="bounded"
+        )
+        result = protocol.run()
+        return result.analysis.decision_count
+
     def op_stable_n16_views4():
         protocol = stable_scenario(n=16, num_views=4, delta=2, seed=0)
         result = protocol.run()
@@ -243,8 +257,56 @@ def _build_ops() -> dict[str, Callable[[], object]]:
         "e2e.full_view_n64": op_full_view_n64,
         "e2e.view_rate_n8_v8": op_view_rate_v8,
         "e2e.view_rate_n8_v32": op_view_rate_v32,
+        "e2e.long_horizon_n8_v256": op_long_horizon_v256,
         "table1.stable_n16_views4": op_stable_n16_views4,
     }
+
+
+def _measure_memory(smoke: bool) -> dict:
+    """Peak-retention comparison of full vs bounded tracing, long horizon.
+
+    Runs the n=8 long-horizon scenario once per retention mode and
+    records, per mode: events emitted vs retained, the streaming
+    reducers' state-table size, and the tracemalloc peak of the run.
+    Peak process RSS (monotone, process-wide) is reported once at the
+    section level.  These numbers land under the report's ``memory`` key,
+    outside ``results``, so the ops/sec regression gate ignores them.
+    """
+
+    import tracemalloc
+
+    from repro.harness import stable_scenario
+
+    views = 64 if smoke else 256
+    modes: dict[str, dict] = {}
+    for mode in ("full", "bounded"):
+        tracemalloc.start()
+        result = stable_scenario(
+            n=8, num_views=views, delta=2, seed=0, trace_mode=mode
+        ).run()
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        bus = result.observability.bus
+        modes[mode] = {
+            "events_emitted": bus.events_emitted,
+            "retained_events": bus.retained_events(),
+            "reducer_state_entries": result.analysis.state_entries(),
+            # end = live heap still referenced when the run finishes (the
+            # retention cost); peak = transient high-water mark.
+            "tracemalloc_end_kib": round(current / 1024, 1),
+            "tracemalloc_peak_kib": round(peak / 1024, 1),
+        }
+    section: dict = {"scenario": f"stable n=8 v={views} Δ=2", "modes": modes}
+    try:
+        import resource
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
+            rss //= 1024
+        section["ru_maxrss_kib"] = rss
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        pass
+    return {"long_horizon_n8": section}
 
 
 def _measure(fn: Callable[[], object], target_seconds: float, repeats: int) -> float:
@@ -414,6 +476,20 @@ def main(argv: list[str] | None = None) -> int:
         },
         "results": results,
     }
+
+    if not args.only:
+        memory = _measure_memory(args.smoke)
+        report["memory"] = memory
+        section = memory["long_horizon_n8"]
+        print(f"\nmemory ({section['scenario']}):")
+        for mode, stats in section["modes"].items():
+            print(
+                f"  {mode:8s} retained {stats['retained_events']:>7d}"
+                f"/{stats['events_emitted']} events  "
+                f"state {stats['reducer_state_entries']:>6d} entries  "
+                f"end {stats['tracemalloc_end_kib']:>9,.1f} KiB  "
+                f"peak {stats['tracemalloc_peak_kib']:>10,.1f} KiB"
+            )
 
     if baseline is not None:
         before = read_results(baseline)

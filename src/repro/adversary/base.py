@@ -17,7 +17,7 @@ from repro.crypto.signatures import SigningKey
 from repro.net.messages import Envelope, Payload
 from repro.net.network import Network
 from repro.sim.simulator import EventPriority, Simulator
-from repro.trace import Trace
+from repro.tracebus import TraceBus
 
 
 class ByzantineValidator:
@@ -33,7 +33,7 @@ class ByzantineValidator:
         key: SigningKey,
         simulator: Simulator,
         network: Network,
-        trace: Trace,
+        trace: TraceBus,
     ) -> None:
         self.validator_id = validator_id
         self.awake = True
@@ -41,7 +41,7 @@ class ByzantineValidator:
         self._key = key
         self._sim = simulator
         self._network = network
-        self._trace = trace
+        self._bus = trace
 
     # -- capabilities -----------------------------------------------------------
 

@@ -6,13 +6,15 @@
   counts, safety/liveness checks over traces;
 * :mod:`repro.analysis.complexity` — message-count scaling in n and the
   O(Ln^2) / O(Ln^3) classification;
+* :mod:`repro.analysis.streaming` — the same measurements as online
+  reducers over the :class:`~repro.tracebus.TraceBus` event stream,
+  with O(state) memory independent of run length;
 * :mod:`repro.analysis.table1` — assembles and renders the full Table 1
   (paper values vs analytic model vs measured);
 * :mod:`repro.analysis.timeline` — regenerates Figure 3's view/GA overlap
   diagram from an actual TOB-SVD trace.
 """
 
-from repro.analysis.complexity import fit_exponent, classify_complexity
 from repro.analysis.latency import (
     confirmation_time_ticks,
     confirmation_times_deltas,
@@ -24,10 +26,38 @@ from repro.analysis.metrics import (
     decided_transactions,
     voting_phases_per_block,
 )
+from repro.analysis.streaming import (
+    DecisionRecord,
+    LatencySnapshot,
+    StreamingAnalyzer,
+    StreamingSafety,
+)
 from repro.analysis.table1 import Table1Report, build_table1, render_table1
 from repro.analysis.timeline import render_timeline
 
+# The complexity module is the package's only numpy dependency, and
+# importing numpy costs ~100 ms — real money now that protocol drivers
+# import this package (lazily, via build_observability) on their first
+# construction.  PEP-562 lazy attributes keep `repro.analysis.fit_exponent`
+# working while deferring numpy to first actual use.
+_COMPLEXITY_EXPORTS = ("fit_exponent", "classify_complexity")
+
+
+def __getattr__(name: str):
+    if name in _COMPLEXITY_EXPORTS:
+        from repro.analysis import complexity
+
+        value = getattr(complexity, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "DecisionRecord",
+    "LatencySnapshot",
+    "StreamingAnalyzer",
+    "StreamingSafety",
     "fit_exponent",
     "classify_complexity",
     "confirmation_time_ticks",

@@ -1,0 +1,352 @@
+"""Streaming reducers: the paper's measurements as online accumulators.
+
+Post-hoc analysis (:mod:`repro.analysis.latency`, :mod:`repro.analysis.
+metrics`) scans a fully-retained :class:`~repro.trace.Trace` after the
+run; every metric is O(events), and the per-transaction queries are
+O(decisions × log length) *each*.  :class:`StreamingAnalyzer` computes
+the same quantities online, folding each :class:`~repro.tracebus.
+TraceBus` event into aggregates whose memory is O(state) — proportional
+to distinct blocks, validators and tick marks, never to the number of
+events — so long-horizon runs hold bounded memory without giving up any
+Table-1 number.
+
+The reducers:
+
+* **first-decision index** — transaction id → the earliest decision
+  record containing it; fed by walking only the *new suffix* of each
+  decided log (the walk stops at the first already-seen block, so total
+  walk cost over a run is O(distinct decided blocks), and a lookup is
+  O(1) versus the post-hoc per-transaction full-trace scan);
+* **first-proposal index** — transaction id → earliest batching-proposal
+  time, same suffix-walk trick over proposal logs;
+* **online latency accumulators** — transactions registered via
+  :meth:`StreamingAnalyzer.watch` sit in a pending map keyed by id; the
+  moment the first decision containing one lands, its anchored latency
+  folds into running count/sum/min/max (this is what powers the live
+  ``decisions/sec, mean latency so far`` ticker of ``repro run``);
+* **voting-phase counters** — per-protocol sets of distinct phase times,
+  the numerator of Table 1's phases-per-block rows;
+* **decision watermarks** — decided-block count, earliest decision per
+  view, chain growth, highest decided log per validator, and an O(1)
+  streaming safety check (every decided log must be compatible with the
+  running maximal decided log; chains make that equivalent to pairwise
+  compatibility over the whole set).
+
+Correctness rests on the bus's ordering invariant: events arrive in
+non-decreasing simulation time, so "first recorded" equals "earliest,
+first-emitted tie-break" — the exact semantics of the post-hoc scans.
+The property suite (``tests/property/test_streaming_equivalence.py``)
+pins streaming == post-hoc value-for-value across the scenario grid.
+
+This module imports only the event schema and chain layer, so protocol
+drivers can build it (via :func:`repro.tracebus.build_observability`)
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.chain.log import Log
+from repro.chain.transactions import Transaction
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRecord:
+    """The coordinates of one decision, without the log payload.
+
+    What every latency/confirmation query actually consumes; holding
+    records instead of :class:`~repro.trace.DecisionEvent` objects keeps
+    the first-decision index free of :class:`Log` references.
+    """
+
+    time: int
+    view: int
+    validator: int
+
+
+@dataclass(frozen=True, slots=True)
+class StreamingSafety:
+    """Streaming counterpart of :class:`repro.analysis.metrics.SafetyReport`."""
+
+    safe: bool
+    conflict: tuple | None = None  # (maximal log, offending DecisionRecord)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.safe
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySnapshot:
+    """The online latency accumulator's state, in ticks."""
+
+    samples: int
+    pending: int
+    sum_ticks: int
+    min_ticks: int | None
+    max_ticks: int | None
+
+    def mean_deltas(self, delta: int) -> float | None:
+        if not self.samples:
+            return None
+        return self.sum_ticks / self.samples / delta
+
+
+class StreamingAnalyzer:
+    """Online reducers over one run's trace-event stream.
+
+    Subscribe it to a :class:`~repro.tracebus.TraceBus` (or call the
+    ``on_*`` hooks directly in tests).  All queries are O(1) or O(answer);
+    none replays events, because none are retained.
+    """
+
+    def __init__(self) -> None:
+        # decisions
+        self.decision_count = 0
+        self.new_blocks = 0
+        self.chain_growth = 0
+        self._decided_block_ids: set[str] = set()
+        self._first_decision: dict[int, DecisionRecord] = {}
+        self._decision_time_by_view: dict[int, int] = {}
+        self._highest_by_validator: dict[int, Log] = {}
+        self._max_decided: Log | None = None
+        self._safe = True
+        self._conflict: tuple | None = None
+        # proposals
+        self.proposal_count = 0
+        self._proposed_block_ids: set[str] = set()
+        self._first_proposal_time: dict[int, int] = {}
+        # vote phases / GA outputs / control
+        self.vote_phase_count = 0
+        self.ga_output_count = 0
+        self._phase_times: dict[str, set[int]] = {}
+        self.control_counts: dict[str, int] = {}
+        # online latency over watched (pending) transactions
+        self._pending: dict[int, int] = {}  # tx_id -> anchor tick
+        self._watched: set[int] = set()  # every tx ever watched (idempotence)
+        self._lat_samples = 0
+        self._lat_sum = 0
+        self._lat_min: int | None = None
+        self._lat_max: int | None = None
+
+    # -- subscriber hooks ----------------------------------------------------
+
+    def on_proposal(self, event) -> None:
+        self.proposal_count += 1
+        seen = self._proposed_block_ids
+        first = self._first_proposal_time
+        time = event.time
+        for block in reversed(event.log.blocks):
+            if block.block_id in seen:
+                break
+            seen.add(block.block_id)
+            for tx in block.transactions:
+                first.setdefault(tx.tx_id, time)
+
+    def on_vote_phase(self, event) -> None:
+        self.vote_phase_count += 1
+        times = self._phase_times.get(event.protocol)
+        if times is None:
+            times = self._phase_times[event.protocol] = set()
+        times.add(event.time)
+
+    def on_ga_output(self, event) -> None:
+        self.ga_output_count += 1
+
+    def on_control(self, event) -> None:
+        self.control_counts[event.kind] = self.control_counts.get(event.kind, 0) + 1
+
+    def on_decision(self, event) -> None:
+        self.decision_count += 1
+        log = event.log
+        time = event.time
+        # Watermarks.
+        if event.view not in self._decision_time_by_view:
+            self._decision_time_by_view[event.view] = time
+        if len(log) - 1 > self.chain_growth:
+            self.chain_growth = len(log) - 1
+        highest = self._highest_by_validator.get(event.validator)
+        if highest is None or len(log) > len(highest):
+            self._highest_by_validator[event.validator] = log
+        # Safety against the running maximal decided log.  Decided logs are
+        # chains: if every one so far is a prefix of the maximum, any new
+        # log compatible with the maximum is comparable with all of them,
+        # so the single comparison is equivalent to the pairwise check.
+        maximal = self._max_decided
+        if maximal is None or log.is_extension_of(maximal):
+            self._max_decided = log
+        elif self._safe and not log.prefix_of(maximal):
+            self._safe = False
+            self._conflict = (
+                maximal,
+                DecisionRecord(time, event.view, event.validator),
+            )
+        # New-suffix walk: index the blocks (and their transactions) this
+        # decision adds over everything already decided.
+        seen = self._decided_block_ids
+        first = self._first_decision
+        pending = self._pending
+        record: DecisionRecord | None = None
+        for block in reversed(log.blocks):
+            if block.block_id in seen:
+                break
+            seen.add(block.block_id)
+            if not block.is_genesis:
+                self.new_blocks += 1
+            for tx in block.transactions:
+                tx_id = tx.tx_id
+                if tx_id not in first:
+                    if record is None:
+                        record = DecisionRecord(time, event.view, event.validator)
+                    first[tx_id] = record
+                    anchor = pending.pop(tx_id, None)
+                    if anchor is not None:
+                        self._confirm(time - anchor)
+
+    # -- online latency ------------------------------------------------------
+
+    def watch(self, tx: Transaction, anchor: int | None = None) -> None:
+        """Track ``tx`` until its first decision; fold latency when it lands.
+
+        ``anchor`` defaults to the submission time (confirmation-time
+        accounting); Table-1 runners pass the view start instead.  A
+        transaction already decided when watched settles immediately.
+        Watching the same transaction again is a no-op (the first call's
+        anchor stands), so retries cannot double-count samples.
+        """
+
+        if tx.tx_id in self._watched:
+            return
+        self._watched.add(tx.tx_id)
+        start = tx.submitted_at if anchor is None else anchor
+        record = self._first_decision.get(tx.tx_id)
+        if record is not None:
+            self._confirm(record.time - start)
+            return
+        self._pending[tx.tx_id] = start
+
+    def _confirm(self, ticks: int) -> None:
+        self._lat_samples += 1
+        self._lat_sum += ticks
+        if self._lat_min is None or ticks < self._lat_min:
+            self._lat_min = ticks
+        if self._lat_max is None or ticks > self._lat_max:
+            self._lat_max = ticks
+
+    def latency(self) -> LatencySnapshot:
+        """The online accumulator over watched transactions, in ticks."""
+
+        return LatencySnapshot(
+            samples=self._lat_samples,
+            pending=len(self._pending),
+            sum_ticks=self._lat_sum,
+            min_ticks=self._lat_min,
+            max_ticks=self._lat_max,
+        )
+
+    # -- per-transaction queries (the post-hoc scans, answered in O(1)) ------
+
+    def first_decision(self, tx: Transaction) -> DecisionRecord | None:
+        """Streaming twin of :meth:`repro.trace.Trace.first_decision_containing`."""
+
+        return self._first_decision.get(tx.tx_id)
+
+    def confirmation_time_ticks(self, tx: Transaction) -> int | None:
+        record = self._first_decision.get(tx.tx_id)
+        if record is None:
+            return None
+        return record.time - tx.submitted_at
+
+    def confirmation_times_deltas(
+        self, txs: Iterable[Transaction], delta: int
+    ) -> list[float]:
+        times: list[float] = []
+        for tx in txs:
+            record = self._first_decision.get(tx.tx_id)
+            if record is not None:
+                times.append((record.time - tx.submitted_at) / delta)
+        return times
+
+    def anchored_latency_deltas(
+        self, tx: Transaction, anchor: int, delta: int
+    ) -> float | None:
+        record = self._first_decision.get(tx.tx_id)
+        if record is None:
+            return None
+        return (record.time - anchor) / delta
+
+    def proposal_anchored_latency_deltas(
+        self, tx: Transaction, delta: int
+    ) -> float | None:
+        """Streaming twin of :func:`repro.analysis.latency.
+        proposal_anchored_latency_deltas`."""
+
+        record = self._first_decision.get(tx.tx_id)
+        if record is None:
+            return None
+        proposed_at = self._first_proposal_time.get(tx.tx_id)
+        if proposed_at is None:
+            return None
+        return (record.time - proposed_at) / delta
+
+    # -- aggregate queries (the post-hoc metrics, precomputed) ---------------
+
+    def vote_phase_times(self, protocol: str) -> list[int]:
+        return sorted(self._phase_times.get(protocol, ()))
+
+    def voting_phases_per_block(self, protocol: str) -> float | None:
+        phases = len(self._phase_times.get(protocol, ()))
+        if self.new_blocks == 0:
+            return None
+        return phases / self.new_blocks
+
+    def safety(self) -> StreamingSafety:
+        return StreamingSafety(safe=self._safe, conflict=self._conflict)
+
+    def decision_times_by_view(self) -> dict[int, int]:
+        return dict(self._decision_time_by_view)
+
+    @property
+    def decided_views(self) -> set[int]:
+        """Views with at least one decision (derived, not stored twice)."""
+
+        return set(self._decision_time_by_view)
+
+    def highest_decision_per_validator(self) -> dict[int, Log]:
+        return dict(self._highest_by_validator)
+
+    def max_decided_log(self) -> Log | None:
+        """The longest log any validator ever decided."""
+
+        return self._max_decided
+
+    def decided_transactions(self) -> set[int]:
+        return set(self._first_decision)
+
+    def all_confirmed(self, txs: Iterable[Transaction]) -> bool:
+        first = self._first_decision
+        return all(tx.tx_id in first for tx in txs)
+
+    # -- memory accounting ---------------------------------------------------
+
+    def retained_events(self) -> int:
+        """Reducers retain aggregates, never events."""
+
+        return 0
+
+    def state_entries(self) -> int:
+        """Total entries across all reducer tables — the O(state) footprint."""
+
+        return (
+            len(self._decided_block_ids)
+            + len(self._first_decision)
+            + len(self._decision_time_by_view)
+            + len(self._highest_by_validator)
+            + len(self._proposed_block_ids)
+            + len(self._first_proposal_time)
+            + sum(len(times) for times in self._phase_times.values())
+            + len(self.control_counts)
+            + len(self._pending)
+            + len(self._watched)
+        )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.chain.log import Log
 from repro.core.quorum import meets_quorum
@@ -40,6 +41,10 @@ from repro.sleepy.controller import SleepController
 from repro.sleepy.corruption import CorruptionPlan
 from repro.sleepy.schedule import AwakeSchedule
 from repro.trace import GaOutputEvent, Trace, VotePhaseEvent
+from repro.tracebus import Observability, TraceBus, build_observability
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids analysis cycle
+    from repro.analysis.streaming import StreamingAnalyzer
 
 MR_GA_NAME = "mr-ga"
 MR_DURATION_DELTAS = 3
@@ -117,7 +122,7 @@ class MrGaHostValidator(BaseValidator):
         key: SigningKey,
         simulator: Simulator,
         network: Network,
-        trace: Trace,
+        trace: TraceBus,
         ga_key: tuple,
         start_time: int,
         input_log: Log | None,
@@ -148,7 +153,7 @@ class MrGaHostValidator(BaseValidator):
         if self._input_log is None:
             return
         self.broadcast(LogMessage(ga_key=self._ga_key, log=self._input_log))
-        self._trace.emit_vote_phase(
+        self._bus.emit_vote_phase(
             VotePhaseEvent(
                 time=self.now,
                 protocol=MR_GA_NAME,
@@ -181,7 +186,7 @@ class MrGaHostValidator(BaseValidator):
         for log in sorted(maximal, key=lambda l: (len(l), l.log_id)):
             self.voted_for.append(log)
             self.broadcast(VoteMessage(ga_key=self._ga_key, log=log))
-            self._trace.emit_vote_phase(
+            self._bus.emit_vote_phase(
                 VotePhaseEvent(
                     time=self.now,
                     protocol=MR_GA_NAME,
@@ -221,7 +226,7 @@ class MrGaHostValidator(BaseValidator):
 
     def _emit_outputs(self, logs: list[Log], grade: int) -> None:
         for log in logs:
-            self._trace.emit_ga_output(
+            self._bus.emit_ga_output(
                 GaOutputEvent(
                     time=self.now,
                     ga_key=self._ga_key,
@@ -250,10 +255,12 @@ class MrGaRunResult:
     """Outcome of one standalone MR-GA execution."""
 
     outputs: dict[int, dict[int, list[Log] | None]]
-    trace: Trace
+    trace: Trace | None
     network: Network
     simulator: Simulator
     honest_ids: frozenset[int] = field(default_factory=frozenset)
+    analysis: StreamingAnalyzer | None = None
+    observability: Observability | None = None
 
     def participating(self, grade: int) -> dict[int, list[Log]]:
         return {
@@ -273,6 +280,7 @@ def run_mr_ga(
     delay_policy: DelayPolicy | None = None,
     seed: int = 0,
     extra_ticks: int = 0,
+    trace_mode: str = "full",
 ) -> MrGaRunResult:
     """Run one Momose-Ren GA instance (mirror of ``run_standalone_ga``)."""
 
@@ -280,10 +288,11 @@ def run_mr_ga(
     registry = KeyRegistry(n, seed=seed)
     policy = delay_policy if delay_policy is not None else UniformDelay(delta)
     network = Network(simulator, delta, registry, policy)
-    trace = Trace()
+    observability = build_observability(trace_mode)
+    bus = observability.bus
     schedule = schedule if schedule is not None else AwakeSchedule.always_awake(n)
     corruption = corruption if corruption is not None else CorruptionPlan.none()
-    controller = SleepController(simulator, network, schedule, corruption, trace)
+    controller = SleepController(simulator, network, schedule, corruption, bus)
 
     byzantine = corruption.ever_byzantine()
     hosts: dict[int, MrGaHostValidator] = {}
@@ -293,7 +302,7 @@ def run_mr_ga(
         if vid in byzantine:
             if byzantine_factory is None:
                 raise ValueError("byzantine validators declared but no factory given")
-            node = byzantine_factory(vid, key, simulator, network, trace)
+            node = byzantine_factory(vid, key, simulator, network, bus)
             network.register(node)
             controller.manage(node)
             byzantine_nodes.append(node)
@@ -303,7 +312,7 @@ def run_mr_ga(
             key,
             simulator,
             network,
-            trace,
+            bus,
             ga_key=(MR_GA_NAME, 0),
             start_time=0,
             input_log=inputs.get(vid),
@@ -324,8 +333,10 @@ def run_mr_ga(
 
     return MrGaRunResult(
         outputs={vid: dict(host.outputs) for vid, host in hosts.items()},
-        trace=trace,
+        trace=observability.trace,
         network=network,
         simulator=simulator,
         honest_ids=frozenset(hosts),
+        analysis=observability.analysis,
+        observability=observability,
     )

@@ -26,7 +26,7 @@ faithful per protocol (see DESIGN.md, substitution 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.adversary.base import ByzantineValidator
 from repro.baselines.structure import ProtocolStructure
@@ -44,6 +44,10 @@ from repro.sleepy.controller import SleepController
 from repro.sleepy.corruption import CorruptionPlan
 from repro.sleepy.schedule import AwakeSchedule
 from repro.trace import DecisionEvent, ProposalEvent, Trace, VotePhaseEvent
+from repro.tracebus import Observability, TraceBus, build_observability
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids analysis cycle
+    from repro.analysis.streaming import StreamingAnalyzer
 
 
 @dataclass(frozen=True)
@@ -83,7 +87,7 @@ class StructuralTobValidator(BaseValidator):
         key: SigningKey,
         simulator: Simulator,
         network: Network,
-        trace: Trace,
+        trace: TraceBus,
         context: StructuralContext,
     ) -> None:
         super().__init__(validator_id, key, simulator, network, trace)
@@ -148,7 +152,7 @@ class StructuralTobValidator(BaseValidator):
         proposal_log = self.head.append_block(batch, proposer=self.validator_id, view=view)
         vrf_output = self._context.vrf.evaluate(self.validator_id, view)
         self.broadcast(ProposalMessage(view=view, log=proposal_log, vrf=vrf_output))
-        self._trace.emit_proposal(
+        self._bus.emit_proposal(
             ProposalEvent(
                 time=self.now,
                 view=view,
@@ -170,7 +174,7 @@ class StructuralTobValidator(BaseValidator):
                 protocol=self._structure.name, view=view, phase_index=phase, log=leader_log
             )
         )
-        self._trace.emit_vote_phase(
+        self._bus.emit_vote_phase(
             VotePhaseEvent(
                 time=self.now,
                 protocol=self._structure.name,
@@ -196,7 +200,7 @@ class StructuralTobValidator(BaseValidator):
         if decided_log is not None:
             self.head = decided_log
             self.decided.append((self.now, decided_log))
-            self._trace.emit_decision(
+            self._bus.emit_decision(
                 DecisionEvent(
                     time=self.now, view=view, validator=self.validator_id, log=decided_log
                 )
@@ -220,7 +224,7 @@ class StructuralTobValidator(BaseValidator):
                 protocol=self._structure.name, view=view, phase_index=phase, log=self.head
             )
         )
-        self._trace.emit_vote_phase(
+        self._bus.emit_vote_phase(
             VotePhaseEvent(
                 time=self.now,
                 protocol=self._structure.name,
@@ -265,7 +269,7 @@ class StructuralEquivocator(ByzantineValidator):
         key: SigningKey,
         simulator: Simulator,
         network: Network,
-        trace: Trace,
+        trace: TraceBus,
         context: StructuralContext,
     ) -> None:
         super().__init__(validator_id, key, simulator, network, trace)
@@ -340,7 +344,7 @@ class StructuralEquivocator(ByzantineValidator):
 
 
 StructuralByzFactory = Callable[
-    [int, SigningKey, Simulator, Network, Trace, StructuralContext], ByzantineValidator
+    [int, SigningKey, Simulator, Network, TraceBus, StructuralContext], ByzantineValidator
 ]
 
 
@@ -349,7 +353,7 @@ def equivocator_factory(
     key: SigningKey,
     simulator: Simulator,
     network: Network,
-    trace: Trace,
+    trace: TraceBus,
     context: StructuralContext,
 ) -> ByzantineValidator:
     """Default structural Byzantine node: the split-proposal equivocator."""
@@ -363,18 +367,24 @@ class StructuralResult:
 
     structure: ProtocolStructure
     config: StructuralConfig
-    trace: Trace
+    trace: Trace | None
     network: Network
     simulator: Simulator
     validators: dict[int, StructuralTobValidator]
     context: StructuralContext
     _decided_cache: dict[int, Log] = field(default_factory=dict)
+    analysis: StreamingAnalyzer | None = None
+    observability: Observability | None = None
 
     def decided_logs(self) -> dict[int, Log]:
         return {vid: val.head for vid, val in self.validators.items()}
 
     def successful_views(self) -> set[int]:
-        return {event.view for event in self.trace.decisions}
+        if self.trace is not None:
+            return {event.view for event in self.trace.decisions}
+        if self.analysis is None:
+            raise ValueError("run executed with tracing off")
+        return set(self.analysis.decided_views)
 
 
 class StructuralTob:
@@ -389,6 +399,7 @@ class StructuralTob:
         byzantine_factory: StructuralByzFactory | None = None,
         delay_policy: DelayPolicy | None = None,
         pool: TransactionPool | None = None,
+        trace_mode: str = "full",
     ) -> None:
         if structure.best_case_latency_deltas > structure.view_length_deltas:
             raise ValueError(
@@ -402,7 +413,9 @@ class StructuralTob:
         self.registry = KeyRegistry(config.n, seed=config.seed)
         policy = delay_policy if delay_policy is not None else UniformDelay(config.delta)
         self.network = Network(self.simulator, config.delta, self.registry, policy)
-        self.trace = Trace()
+        self.observability = build_observability(trace_mode)
+        self.trace = self.observability.trace
+        self._bus = self.observability.bus
         self.schedule = schedule if schedule is not None else AwakeSchedule.always_awake(config.n)
         self.corruption = corruption if corruption is not None else CorruptionPlan.none()
         self.pool = pool if pool is not None else TransactionPool()
@@ -414,7 +427,7 @@ class StructuralTob:
             registry=self.registry,
         )
         self._controller = SleepController(
-            self.simulator, self.network, self.schedule, self.corruption, self.trace
+            self.simulator, self.network, self.schedule, self.corruption, self._bus
         )
         self.validators: dict[int, StructuralTobValidator] = {}
         self.byzantine_nodes: dict[int, object] = {}
@@ -424,13 +437,13 @@ class StructuralTob:
         for vid in range(config.n):
             key = self.registry.key_for(vid)
             if vid in byzantine:
-                node = factory(vid, key, self.simulator, self.network, self.trace, self.context)
+                node = factory(vid, key, self.simulator, self.network, self._bus, self.context)
                 self.network.register(node)  # type: ignore[arg-type]
                 self._controller.manage(node)  # type: ignore[arg-type]
                 self.byzantine_nodes[vid] = node
                 continue
             validator = StructuralTobValidator(
-                vid, key, self.simulator, self.network, self.trace, self.context
+                vid, key, self.simulator, self.network, self._bus, self.context
             )
             self.network.register(validator)
             self._controller.manage(validator)
@@ -457,4 +470,6 @@ class StructuralTob:
             simulator=self.simulator,
             validators=self.validators,
             context=self.context,
+            analysis=self.observability.analysis,
+            observability=self.observability,
         )

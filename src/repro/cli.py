@@ -1,7 +1,11 @@
 """The ``python -m repro`` command line.
 
-Four subcommands front the experiment subsystem:
+Five subcommands front the experiment subsystem:
 
+* ``run`` — execute one named scenario under a chosen trace-retention
+  policy (``--trace full|bounded|off``, default bounded) and print live
+  streaming-reducer stats (decisions/sec, mean latency so far) while it
+  runs;
 * ``sweep`` — expand a declarative experiment grid (inline flags or a
   JSON spec file) and execute it on a worker pool with resume support;
 * ``table1`` — regenerate the paper's Table 1 (paper vs analytic model
@@ -10,8 +14,9 @@ Four subcommands front the experiment subsystem:
 * ``bench`` — the machine-readable micro/e2e benchmark harness
   (delegates to ``benchmarks/run_benchmarks.py``).
 
-Every command is deterministic given its arguments; none reads the
-wall clock or ambient RNG state.
+Every command is deterministic given its arguments; none reads the wall
+clock or ambient RNG state (the ``run`` ticker reads the wall clock for
+its decisions/sec display only — simulation results never depend on it).
 """
 
 from __future__ import annotations
@@ -86,7 +91,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    outcome = run_sweep(spec, store=store, workers=args.workers, progress=progress)
+    outcome = run_sweep(
+        spec,
+        store=store,
+        workers=args.workers,
+        progress=progress,
+        trace_mode=args.trace,
+    )
     print(
         f"sweep '{spec.name}': {outcome.total_cells} cells, "
         f"{outcome.executed} executed, {outcome.skipped} resumed-skip"
@@ -109,6 +120,133 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if errors:
         print(f"note: {errors} error cells (see {args.out})", file=sys.stderr)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+
+def _build_scenario(args: argparse.Namespace, pool, trace_mode: str = "full"):
+    """Shared family dispatch for the ``run`` and ``scenario`` commands."""
+
+    from repro.harness import scenarios
+
+    common = dict(
+        n=args.n, num_views=args.views, delta=args.delta, seed=args.seed,
+        pool=pool, trace_mode=trace_mode,
+    )
+    if args.family == "stable":
+        return scenarios.stable_scenario(**common)
+    if args.family == "equivocating":
+        return scenarios.equivocating_scenario(
+            f=args.f, attacker=args.attacker, **common
+        )
+    if args.family == "churn":
+        return scenarios.churn_scenario(**common)
+    if args.family == "late-join":
+        return scenarios.late_join_scenario(**common)
+    return scenarios.bursty_churn_scenario(**common)  # bursty
+
+
+def _submit_anchored_txs(pool, num_views: int, view_ticks: int, prefix: str) -> list:
+    """One transaction right before each view start with room to confirm."""
+
+    return [
+        pool.submit(payload=f"{prefix}-{view}", at_time=view * view_ticks - 1)
+        for view in range(1, max(2, num_views - 3))
+    ]
+
+
+class _LiveReducerStats:
+    """TraceBus subscriber printing rolling reducer stats during a run.
+
+    Subscribed *after* the streaming reducers, so by the time its
+    ``on_decision`` hook fires for an event the aggregates already
+    include that event.  Wall-clock only feeds the decisions/sec display;
+    nothing simulation-visible reads it.
+    """
+
+    def __init__(self, analysis, delta: int, every: int) -> None:
+        import time as _time
+
+        self._analysis = analysis
+        self._delta = delta
+        self._every = max(1, every)
+        self._clock = _time.perf_counter
+        self._started = self._clock()
+        self._next = self._every
+
+    def on_decision(self, event) -> None:
+        analysis = self._analysis
+        if analysis.decision_count < self._next:
+            return
+        self._next = analysis.decision_count + self._every
+        elapsed = max(self._clock() - self._started, 1e-9)
+        latency = analysis.latency()
+        mean = latency.mean_deltas(self._delta)
+        mean_text = f"{mean:6.2f}Δ" if mean is not None else "     —"
+        print(
+            f"  t={event.time:>7d}  decisions={analysis.decision_count:>8d}  "
+            f"blocks={analysis.new_blocks:>5d}  "
+            f"{analysis.decision_count / elapsed:>10,.0f} decisions/sec  "
+            f"mean latency {mean_text}  "
+            f"(confirmed {latency.samples}/{latency.samples + latency.pending})",
+            flush=True,
+        )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.chain.transactions import TransactionPool
+
+    pool = TransactionPool()
+    protocol = _build_scenario(args, pool, trace_mode=args.trace)
+    observability = protocol.observability
+    analysis = observability.analysis
+    view_ticks = protocol.config.time.view_ticks
+    txs = _submit_anchored_txs(pool, args.views, view_ticks, "run")
+    byz = f"f={args.f} " if args.family == "equivocating" else ""
+    print(f"run {args.family}: n={args.n} {byz}Δ={args.delta} "
+          f"views={args.views} seed={args.seed} trace={args.trace}")
+    if analysis is not None:
+        for tx in txs:
+            analysis.watch(tx)
+        every = args.stats_every if args.stats_every else max(1, args.n * 4)
+        observability.bus.subscribe(
+            _LiveReducerStats(analysis, args.delta, every)
+        )
+    else:
+        print("  (tracing off: no reducer stats, reporting network totals only)")
+
+    started = _time.perf_counter()
+    result = protocol.run()
+    elapsed = max(_time.perf_counter() - started, 1e-9)
+
+    bus = observability.bus
+    print(f"finished in {elapsed:.2f}s: {bus.events_emitted} events emitted, "
+          f"{bus.retained_events()} retained "
+          f"({result.simulator.now} ticks simulated)")
+    stats = result.network.stats
+    print(f"  deliveries:            {stats.weighted_deliveries} weighted")
+    if analysis is None:
+        return 0
+    latency = analysis.latency()
+    mean = latency.mean_deltas(args.delta)
+    print(f"  decided blocks:        {analysis.new_blocks}/{args.views}")
+    print(f"  decisions:             {analysis.decision_count} "
+          f"({analysis.decision_count / elapsed:,.0f}/sec)")
+    print(f"  safety holds:          {analysis.safety().safe}")
+    phases = analysis.voting_phases_per_block("tobsvd")
+    print(f"  phases per block:      {phases}")
+    print(f"  confirmed txs:         {latency.samples}/{len(txs)}")
+    if mean is not None:
+        print(f"  latency mean/min/max:  {mean:.2f}Δ / "
+              f"{latency.min_ticks / args.delta:.2f}Δ / "
+              f"{latency.max_ticks / args.delta:.2f}Δ")
+    print(f"  reducer state entries: {analysis.state_entries()}")
+    return 0 if analysis.safety().safe else 1
 
 
 # ---------------------------------------------------------------------------
@@ -144,30 +282,11 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.analysis.metrics import check_safety, count_new_blocks, voting_phases_per_block
     from repro.chain.transactions import TransactionPool
-    from repro.harness import scenarios
 
     pool = TransactionPool()
-    common = dict(
-        n=args.n, num_views=args.views, delta=args.delta, seed=args.seed, pool=pool
-    )
-    if args.family == "stable":
-        protocol = scenarios.stable_scenario(**common)
-    elif args.family == "equivocating":
-        protocol = scenarios.equivocating_scenario(
-            f=args.f, attacker=args.attacker, **common
-        )
-    elif args.family == "churn":
-        protocol = scenarios.churn_scenario(**common)
-    elif args.family == "late-join":
-        protocol = scenarios.late_join_scenario(**common)
-    else:  # bursty
-        protocol = scenarios.bursty_churn_scenario(**common)
-
+    protocol = _build_scenario(args, pool)  # post-hoc command: full retention
     view_ticks = protocol.config.time.view_ticks
-    txs = [
-        pool.submit(payload=f"scn-{view}", at_time=view * view_ticks - 1)
-        for view in range(1, max(2, args.views - 3))
-    ]
+    txs = _submit_anchored_txs(pool, args.views, view_ticks, "scn")
     result = protocol.run()
     from repro.analysis.latency import confirmation_times_deltas
 
@@ -262,7 +381,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true", help="suppress the aggregate table")
     sweep.add_argument("--list-cells", action="store_true",
                        help="print the expanded grid and exit")
+    sweep.add_argument("--trace", choices=("full", "bounded"), default="bounded",
+                       help="per-cell event retention (bounded keeps O(state) "
+                       "memory; metrics are identical either way)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    run = sub.add_parser(
+        "run",
+        help="execute one scenario with live streaming-reducer stats",
+    )
+    run.add_argument("family",
+                     choices=("stable", "equivocating", "churn", "late-join", "bursty"))
+    run.add_argument("--n", type=int, default=8)
+    run.add_argument("--f", type=int, default=3,
+                     help="Byzantine count (equivocating only)")
+    run.add_argument("--views", type=int, default=64)
+    run.add_argument("--delta", type=int, default=2)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--attacker", default="equivocating-proposer",
+                     choices=ATTACKERS)
+    run.add_argument("--trace", choices=("full", "bounded", "off"),
+                     default="bounded",
+                     help="event retention: full recorder, bounded reducers "
+                     "only (default), or no observability at all")
+    run.add_argument("--stats-every", type=int, default=0,
+                     help="decisions between live stat lines (default 4n)")
+    run.set_defaults(func=_cmd_run)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--smoke", action="store_true",

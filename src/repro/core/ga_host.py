@@ -15,7 +15,7 @@ GA property tests and the Figure-1/Figure-2 experiments consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.chain.log import Log
 from repro.crypto.signatures import KeyRegistry, SigningKey
@@ -29,6 +29,10 @@ from repro.sleepy.controller import SleepController
 from repro.sleepy.corruption import CorruptionPlan
 from repro.sleepy.schedule import AwakeSchedule
 from repro.trace import GaOutputEvent, Trace, VotePhaseEvent
+from repro.tracebus import Observability, TraceBus, build_observability
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids analysis cycle
+    from repro.analysis.streaming import StreamingAnalyzer
 
 
 class GaHostValidator(BaseValidator):
@@ -40,7 +44,7 @@ class GaHostValidator(BaseValidator):
         key: SigningKey,
         simulator: Simulator,
         network: Network,
-        trace: Trace,
+        trace: TraceBus,
         spec: GaSpec,
         ga_key: tuple,
         start_time: int,
@@ -78,7 +82,7 @@ class GaHostValidator(BaseValidator):
             return
         payload = self.ga.note_input(self._input_log)
         self.broadcast(payload)
-        self._trace.emit_vote_phase(
+        self._bus.emit_vote_phase(
             VotePhaseEvent(
                 time=self.now,
                 protocol=self.ga.spec.name,
@@ -95,7 +99,7 @@ class GaHostValidator(BaseValidator):
         if outputs is None:
             return
         for log in outputs:
-            self._trace.emit_ga_output(
+            self._bus.emit_ga_output(
                 GaOutputEvent(
                     time=self.now,
                     ga_key=self.ga.key,
@@ -117,7 +121,7 @@ class GaHostValidator(BaseValidator):
 
 
 ByzantineFactory = Callable[
-    [int, SigningKey, Simulator, Network, Trace], object
+    [int, SigningKey, Simulator, Network, TraceBus], object
 ]
 
 
@@ -126,10 +130,12 @@ class GaRunResult:
     """Outcome of one standalone GA execution."""
 
     outputs: dict[int, dict[int, list[Log] | None]]
-    trace: Trace
+    trace: Trace | None
     network: Network
     simulator: Simulator
     honest_ids: frozenset[int] = field(default_factory=frozenset)
+    analysis: StreamingAnalyzer | None = None
+    observability: Observability | None = None
 
     def participating(self, grade: int) -> dict[int, list[Log]]:
         """Honest validators that participated in the output phase for ``grade``."""
@@ -158,6 +164,7 @@ def run_standalone_ga(
     delay_policy: DelayPolicy | None = None,
     seed: int = 0,
     extra_ticks: int = 0,
+    trace_mode: str = "full",
 ) -> GaRunResult:
     """Execute one GA instance over the full validator set.
 
@@ -178,10 +185,11 @@ def run_standalone_ga(
     registry = KeyRegistry(n, seed=seed)
     policy = delay_policy if delay_policy is not None else UniformDelay(delta)
     network = Network(simulator, delta, registry, policy)
-    trace = Trace()
+    observability = build_observability(trace_mode)
+    bus = observability.bus
     schedule = schedule if schedule is not None else AwakeSchedule.always_awake(n)
     corruption = corruption if corruption is not None else CorruptionPlan.none()
-    controller = SleepController(simulator, network, schedule, corruption, trace)
+    controller = SleepController(simulator, network, schedule, corruption, bus)
 
     byzantine = corruption.ever_byzantine()
     hosts: dict[int, GaHostValidator] = {}
@@ -191,7 +199,7 @@ def run_standalone_ga(
         if vid in byzantine:
             if byzantine_factory is None:
                 raise ValueError("byzantine validators declared but no factory given")
-            node = byzantine_factory(vid, key, simulator, network, trace)
+            node = byzantine_factory(vid, key, simulator, network, bus)
             network.register(node)  # type: ignore[arg-type]
             controller.manage(node)  # type: ignore[arg-type]
             byzantine_nodes.append(node)
@@ -201,7 +209,7 @@ def run_standalone_ga(
             key,
             simulator,
             network,
-            trace,
+            bus,
             spec,
             ga_key=(spec.name, 0),
             start_time=0,
@@ -223,8 +231,10 @@ def run_standalone_ga(
 
     return GaRunResult(
         outputs={vid: dict(host.outputs) for vid, host in hosts.items()},
-        trace=trace,
+        trace=observability.trace,
         network=network,
         simulator=simulator,
         honest_ids=frozenset(hosts),
+        analysis=observability.analysis,
+        observability=observability,
     )

@@ -31,7 +31,7 @@ lock (Section 6.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.chain.log import Log
 from repro.chain.transactions import TransactionPool
@@ -50,6 +50,10 @@ from repro.sleepy.controller import SleepController
 from repro.sleepy.corruption import CorruptionPlan
 from repro.sleepy.schedule import AwakeSchedule
 from repro.trace import DecisionEvent, GaOutputEvent, ProposalEvent, Trace, VotePhaseEvent
+from repro.tracebus import Observability, TraceBus, build_observability
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids analysis cycle
+    from repro.analysis.streaming import StreamingAnalyzer
 
 PROTOCOL_NAME = "tobsvd"
 
@@ -115,7 +119,7 @@ class TobSvdValidator(BaseValidator):
         key: SigningKey,
         simulator: Simulator,
         network: Network,
-        trace: Trace,
+        trace: TraceBus,
         context: ProtocolContext,
     ) -> None:
         super().__init__(validator_id, key, simulator, network, trace)
@@ -173,7 +177,7 @@ class TobSvdValidator(BaseValidator):
             return None
         tip = instance.compute_output_tip(grade)
         if tip is not None:
-            self._trace.emit_ga_output(
+            self._bus.emit_ga_output(
                 GaOutputEvent(
                     time=self.now,
                     ga_key=instance.key,
@@ -240,7 +244,7 @@ class TobSvdValidator(BaseValidator):
         proposal_log = candidate.append_block(batch, proposer=self.validator_id, view=view)
         vrf_output = self._context.vrf.evaluate(self.validator_id, view)
         self.broadcast(ProposalMessage(view=view, log=proposal_log, vrf=vrf_output))
-        self._trace.emit_proposal(
+        self._bus.emit_proposal(
             ProposalEvent(
                 time=self.now,
                 view=view,
@@ -261,7 +265,7 @@ class TobSvdValidator(BaseValidator):
         instance = self._instance(view)
         payload = instance.note_input(input_log)
         self.broadcast(payload)
-        self._trace.emit_vote_phase(
+        self._bus.emit_vote_phase(
             VotePhaseEvent(
                 time=self.now,
                 protocol=PROTOCOL_NAME,
@@ -280,7 +284,7 @@ class TobSvdValidator(BaseValidator):
             self.decided.append((self.now, decided))
             if len(decided) > len(self.highest_decided):
                 self.highest_decided = decided
-            self._trace.emit_decision(
+            self._bus.emit_decision(
                 DecisionEvent(
                     time=self.now, view=view, validator=self.validator_id, log=decided
                 )
@@ -322,22 +326,30 @@ class TobSvdValidator(BaseValidator):
 
 
 ByzantineFactory = Callable[
-    [int, SigningKey, Simulator, Network, Trace, ProtocolContext], object
+    [int, SigningKey, Simulator, Network, TraceBus, ProtocolContext], object
 ]
 
 
 @dataclass
 class TobSvdResult:
-    """Everything a finished run exposes to the analysis layer."""
+    """Everything a finished run exposes to the analysis layer.
+
+    ``trace`` is the full-event recorder and is ``None`` under bounded/off
+    retention; ``analysis`` carries the streaming reducers (``None`` only
+    when tracing is off) and is the preferred measurement source — it is
+    identical between retention modes by construction.
+    """
 
     config: TobSvdConfig
-    trace: Trace
+    trace: Trace | None
     network: Network
     simulator: Simulator
     validators: dict[int, TobSvdValidator]
     context: ProtocolContext
     schedule: AwakeSchedule
     corruption: CorruptionPlan
+    analysis: StreamingAnalyzer | None = None
+    observability: Observability | None = None
 
     @property
     def honest_ids(self) -> frozenset[int]:
@@ -346,6 +358,10 @@ class TobSvdResult:
     def all_decisions_compatible(self) -> bool:
         """The Safety property over the whole trace."""
 
+        if self.trace is None:
+            if self.analysis is None:
+                raise ValueError("run executed with tracing off")
+            return self.analysis.safety().safe
         logs = [event.log for event in self.trace.decisions]
         return all(
             a.compatible_with(b) for i, a in enumerate(logs) for b in logs[i + 1 :]
@@ -370,6 +386,7 @@ class TobSvdProtocol:
         pool: TransactionPool | None = None,
         validator_class: type[TobSvdValidator] | None = None,
         buffer_while_asleep: bool = True,
+        trace_mode: str = "full",
     ) -> None:
         self.config = config
         self.simulator = Simulator(seed=config.seed)
@@ -382,7 +399,9 @@ class TobSvdProtocol:
             policy,
             buffer_while_asleep=buffer_while_asleep,
         )
-        self.trace = Trace()
+        self.observability = build_observability(trace_mode)
+        self.trace = self.observability.trace
+        self._bus = self.observability.bus
         self.schedule = schedule if schedule is not None else AwakeSchedule.always_awake(config.n)
         self.corruption = corruption if corruption is not None else CorruptionPlan.none()
         self.pool = pool if pool is not None else TransactionPool()
@@ -393,7 +412,7 @@ class TobSvdProtocol:
             registry=self.registry,
         )
         self._controller = SleepController(
-            self.simulator, self.network, self.schedule, self.corruption, self.trace
+            self.simulator, self.network, self.schedule, self.corruption, self._bus
         )
         self.validators: dict[int, TobSvdValidator] = {}
         self.byzantine_nodes: dict[int, object] = {}
@@ -406,14 +425,14 @@ class TobSvdProtocol:
                 if byzantine_factory is None:
                     raise ValueError("byzantine validators declared but no factory given")
                 node = byzantine_factory(
-                    vid, key, self.simulator, self.network, self.trace, self.context
+                    vid, key, self.simulator, self.network, self._bus, self.context
                 )
                 self.network.register(node)  # type: ignore[arg-type]
                 self._controller.manage(node)  # type: ignore[arg-type]
                 self.byzantine_nodes[vid] = node
                 continue
             validator = validator_class(
-                vid, key, self.simulator, self.network, self.trace, self.context
+                vid, key, self.simulator, self.network, self._bus, self.context
             )
             self.network.register(validator)
             self._controller.manage(validator)
@@ -440,4 +459,6 @@ class TobSvdProtocol:
             context=self.context,
             schedule=self.schedule,
             corruption=self.corruption,
+            analysis=self.observability.analysis,
+            observability=self.observability,
         )

@@ -21,7 +21,7 @@ from repro.net.messages import Envelope, Payload
 from repro.net.network import Network
 from repro.runctx import RunContext
 from repro.sim.simulator import EventPriority, Simulator
-from repro.trace import Trace
+from repro.tracebus import TraceBus
 
 
 class BaseValidator:
@@ -33,7 +33,7 @@ class BaseValidator:
         key: SigningKey,
         simulator: Simulator,
         network: Network,
-        trace: Trace,
+        trace: TraceBus,
     ) -> None:
         if key.validator_id != validator_id:
             raise ValueError("signing key does not match validator id")
@@ -43,7 +43,10 @@ class BaseValidator:
         self._key = key
         self._sim = simulator
         self._network = network
-        self._trace = trace
+        # The observability channel protocol code publishes events on.
+        # Accepts anything exposing the ``emit_*`` API: a TraceBus in
+        # real runs, a bare full-trace recorder in unit tests.
+        self._bus = trace
         # The network's run-scoped intern context: hot dedup compares int
         # tokens, not 64-char hex digests.  A network-less harness (some
         # unit tests) gets a private context — dedup only needs token

@@ -11,7 +11,15 @@ Conventions shared by every latency runner:
 * expected-case measurements run against the equivocating-proposer
   adversary, whose leader-failure probability per view is ``f / n`` —
   the runners report the empirical failure rate next to the latency so
-  results can be compared against the paper's idealized p = 1/2.
+  results can be compared against the paper's idealized p = 1/2;
+* every metric reads from the run's *streaming reducers*
+  (:class:`repro.analysis.streaming.StreamingAnalyzer`), never from the
+  retained trace: per-transaction latency is an O(1) first-decision-index
+  lookup (the old ``Trace.first_decision_containing`` scan was
+  O(decisions × log length) per transaction), and runs default to
+  ``--trace bounded`` retention since nothing here replays events.
+  Numbers are therefore identical across retention modes by
+  construction.
 """
 
 from __future__ import annotations
@@ -21,22 +29,12 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Callable
 
-from repro.analysis.latency import confirmation_times_deltas
-from repro.analysis.metrics import count_new_blocks, voting_phases_per_block
 from repro.baselines.structural_tob import StructuralConfig, StructuralTob
 from repro.baselines.structure import structure_for
 from repro.chain.transactions import Transaction, TransactionPool
 from repro.core.tobsvd import PROTOCOL_NAME as TOBSVD_NAME
 from repro.harness.scenarios import equivocating_scenario, stable_scenario
 from repro.sleepy.corruption import CorruptionPlan
-from repro.trace import Trace
-
-
-def _anchored_latency(trace: Trace, tx: Transaction, anchor: int, delta: int) -> float | None:
-    event = trace.first_decision_containing(tx)
-    if event is None:
-        return None
-    return (event.time - anchor) / delta
 
 
 @dataclass(frozen=True)
@@ -71,7 +69,9 @@ def _summarize(protocol: str, values: list[float], unconfirmed: int, failure_rat
 # ---------------------------------------------------------------------------
 
 
-def measure_best_case_latency(n: int = 8, delta: int = 4, seed: int = 0) -> LatencyMeasurement:
+def measure_best_case_latency(
+    n: int = 8, delta: int = 4, seed: int = 0, trace_mode: str = "bounded"
+) -> LatencyMeasurement:
     """Best case: stable participation, tx submitted right before a view.
 
     The paper's value is 6Δ: proposed at ``t_v``, voted at ``t_v + Δ``
@@ -79,7 +79,9 @@ def measure_best_case_latency(n: int = 8, delta: int = 4, seed: int = 0) -> Late
     """
 
     pool = TransactionPool()
-    protocol = stable_scenario(n=n, num_views=5, delta=delta, seed=seed, pool=pool)
+    protocol = stable_scenario(
+        n=n, num_views=5, delta=delta, seed=seed, pool=pool, trace_mode=trace_mode
+    )
     anchors: list[tuple[Transaction, int]] = []
     for view in (1, 2, 3):
         t_v = protocol.config.time.view_start(view)
@@ -89,7 +91,7 @@ def measure_best_case_latency(n: int = 8, delta: int = 4, seed: int = 0) -> Late
     values = [
         v
         for tx, anchor in anchors
-        if (v := _anchored_latency(result.trace, tx, anchor, delta)) is not None
+        if (v := result.analysis.anchored_latency_deltas(tx, anchor, delta)) is not None
     ]
     unconfirmed = len(anchors) - len(values)
     return _summarize(TOBSVD_NAME, values, unconfirmed, failure_rate=0.0)
@@ -101,6 +103,7 @@ def measure_expected_latency(
     num_views: int = 20,
     delta: int = 2,
     seeds: tuple[int, ...] = (0, 1, 2),
+    trace_mode: str = "bounded",
 ) -> LatencyMeasurement:
     """Expected case: equivocating proposers make views fail w.p. ~ f/n."""
 
@@ -111,7 +114,8 @@ def measure_expected_latency(
     for seed in seeds:
         pool = TransactionPool()
         protocol = equivocating_scenario(
-            n=n, f=f, num_views=num_views, delta=delta, seed=seed, pool=pool
+            n=n, f=f, num_views=num_views, delta=delta, seed=seed, pool=pool,
+            trace_mode=trace_mode,
         )
         anchors: list[tuple[Transaction, int]] = []
         for view in range(1, num_views - 3):
@@ -119,11 +123,11 @@ def measure_expected_latency(
             tx = pool.submit(payload=f"exp-{seed}-{view}", at_time=t_v - 1)
             anchors.append((tx, t_v))
         result = protocol.run()
-        blocks = count_new_blocks(result.trace)
+        blocks = result.analysis.new_blocks
         total_views += num_views
         failed_views += num_views - blocks
         for tx, anchor in anchors:
-            value = _anchored_latency(result.trace, tx, anchor, delta)
+            value = result.analysis.anchored_latency_deltas(tx, anchor, delta)
             if value is None:
                 unconfirmed += 1
             else:
@@ -139,6 +143,7 @@ def measure_transaction_expected_latency(
     delta: int = 2,
     seeds: tuple[int, ...] = (0, 1, 2),
     txs_per_run: int = 30,
+    trace_mode: str = "bounded",
 ) -> LatencyMeasurement:
     """Transactions submitted at uniformly random times (Section 2)."""
 
@@ -148,7 +153,8 @@ def measure_transaction_expected_latency(
         rng = random.Random(1000 + seed)
         pool = TransactionPool()
         protocol = equivocating_scenario(
-            n=n, f=f, num_views=num_views, delta=delta, seed=seed, pool=pool
+            n=n, f=f, num_views=num_views, delta=delta, seed=seed, pool=pool,
+            trace_mode=trace_mode,
         )
         window_end = protocol.config.time.view_start(num_views - 4)
         txs = [
@@ -156,7 +162,7 @@ def measure_transaction_expected_latency(
             for i in range(txs_per_run)
         ]
         result = protocol.run()
-        confirmed = confirmation_times_deltas(result.trace, txs, delta)
+        confirmed = result.analysis.confirmation_times_deltas(txs, delta)
         values.extend(confirmed)
         unconfirmed += len(txs) - len(confirmed)
     return _summarize(TOBSVD_NAME, values, unconfirmed, failure_rate=float("nan"))
@@ -168,18 +174,23 @@ def measure_voting_phases(
     num_views: int = 12,
     delta: int = 2,
     seed: int = 0,
+    trace_mode: str = "bounded",
 ) -> float | None:
     """Voting phases per decided block, best case (f=0) or adversarial."""
 
     pool = TransactionPool()
     if f == 0:
-        protocol = stable_scenario(n=n, num_views=num_views, delta=delta, seed=seed, pool=pool)
+        protocol = stable_scenario(
+            n=n, num_views=num_views, delta=delta, seed=seed, pool=pool,
+            trace_mode=trace_mode,
+        )
     else:
         protocol = equivocating_scenario(
-            n=n, f=f, num_views=num_views, delta=delta, seed=seed, pool=pool
+            n=n, f=f, num_views=num_views, delta=delta, seed=seed, pool=pool,
+            trace_mode=trace_mode,
         )
     result = protocol.run()
-    return voting_phases_per_block(result.trace, TOBSVD_NAME)
+    return result.analysis.voting_phases_per_block(TOBSVD_NAME)
 
 
 def measure_tobsvd_message_scaling(
@@ -192,9 +203,11 @@ def measure_tobsvd_message_scaling(
 
     points: list[tuple[int, float]] = []
     for n in ns:
-        protocol = stable_scenario(n=n, num_views=num_views, delta=delta, seed=seed)
+        protocol = stable_scenario(
+            n=n, num_views=num_views, delta=delta, seed=seed, trace_mode="bounded"
+        )
         result = protocol.run()
-        blocks = max(1, count_new_blocks(result.trace))
+        blocks = max(1, result.analysis.new_blocks)
         points.append((n, result.network.stats.weighted_deliveries / blocks))
     return points
 
@@ -226,6 +239,7 @@ def measure_structural_protocol(
     delta: int = 2,
     seed: int = 0,
     txs_per_run: int = 24,
+    trace_mode: str = "bounded",
 ) -> StructuralMeasurement:
     """Measure one baseline's latency and phase metrics.
 
@@ -239,7 +253,7 @@ def measure_structural_protocol(
     # Stable run: best case.
     pool = TransactionPool()
     config = StructuralConfig(n=n, num_views=num_views_stable, delta=delta, seed=seed)
-    protocol = StructuralTob(structure, config, pool=pool)
+    protocol = StructuralTob(structure, config, pool=pool, trace_mode=trace_mode)
     view_ticks = structure.view_length_deltas * delta
     anchors = []
     for view in range(1, num_views_stable - 1):
@@ -249,16 +263,19 @@ def measure_structural_protocol(
     best_values = [
         v
         for tx, anchor in anchors
-        if (v := _anchored_latency(stable_result.trace, tx, anchor, delta)) is not None
+        if (v := stable_result.analysis.anchored_latency_deltas(tx, anchor, delta))
+        is not None
     ]
     best_case = min(best_values) if best_values else float("nan")
-    phases_best = voting_phases_per_block(stable_result.trace, name)
+    phases_best = stable_result.analysis.voting_phases_per_block(name)
 
     # Adversarial run: expected case.
     pool = TransactionPool()
     config = StructuralConfig(n=n, num_views=num_views_adversarial, delta=delta, seed=seed)
     corruption = CorruptionPlan.static(frozenset(range(n - f, n)))
-    protocol = StructuralTob(structure, config, corruption=corruption, pool=pool)
+    protocol = StructuralTob(
+        structure, config, corruption=corruption, pool=pool, trace_mode=trace_mode
+    )
     anchors = []
     for view in range(1, num_views_adversarial - 2):
         tx = pool.submit(payload=f"se-{view}", at_time=view * view_ticks - 1)
@@ -273,10 +290,11 @@ def measure_structural_protocol(
     expected_values = [
         v
         for tx, anchor in anchors
-        if (v := _anchored_latency(adv_result.trace, tx, anchor, delta)) is not None
+        if (v := adv_result.analysis.anchored_latency_deltas(tx, anchor, delta))
+        is not None
     ]
-    tx_values = confirmation_times_deltas(adv_result.trace, random_txs, delta)
-    blocks = count_new_blocks(adv_result.trace)
+    tx_values = adv_result.analysis.confirmation_times_deltas(random_txs, delta)
+    blocks = adv_result.analysis.new_blocks
     failure_rate = (num_views_adversarial - blocks) / num_views_adversarial
 
     return StructuralMeasurement(
@@ -285,7 +303,7 @@ def measure_structural_protocol(
         expected_deltas=mean(expected_values) if expected_values else float("nan"),
         tx_expected_deltas=mean(tx_values) if tx_values else float("nan"),
         phases_best=phases_best,
-        phases_expected=voting_phases_per_block(adv_result.trace, name),
+        phases_expected=adv_result.analysis.voting_phases_per_block(name),
         view_failure_rate=failure_rate,
     )
 
@@ -383,8 +401,8 @@ def measure_structural_message_scaling(
     points: list[tuple[int, float]] = []
     for n in ns:
         config = StructuralConfig(n=n, num_views=num_views, delta=delta, seed=seed)
-        protocol = StructuralTob(structure, config)
+        protocol = StructuralTob(structure, config, trace_mode="bounded")
         result = protocol.run()
-        blocks = max(1, count_new_blocks(result.trace))
+        blocks = max(1, result.analysis.new_blocks)
         points.append((n, result.network.stats.weighted_deliveries / blocks))
     return points

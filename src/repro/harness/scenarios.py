@@ -38,11 +38,12 @@ def stable_scenario(
     delta: int = 4,
     seed: int = 0,
     pool: TransactionPool | None = None,
+    trace_mode: str = "full",
 ) -> TobSvdProtocol:
     """Everyone honest and always awake."""
 
     config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
-    return TobSvdProtocol(config, pool=pool)
+    return TobSvdProtocol(config, pool=pool, trace_mode=trace_mode)
 
 
 def equivocating_scenario(
@@ -53,6 +54,7 @@ def equivocating_scenario(
     seed: int = 0,
     attacker: str = "equivocating-proposer",
     pool: TransactionPool | None = None,
+    trace_mode: str = "full",
 ) -> TobSvdProtocol:
     """``f`` Byzantine validators running the chosen attack.
 
@@ -72,6 +74,7 @@ def equivocating_scenario(
         corruption=corruption,
         byzantine_factory=make_tob_attacker_factory(attacker),
         pool=pool,
+        trace_mode=trace_mode,
     )
 
 
@@ -83,6 +86,7 @@ def churn_scenario(
     churner_fraction: float = 0.4,
     pool: TransactionPool | None = None,
     require_compliance: bool = True,
+    trace_mode: str = "full",
 ) -> TobSvdProtocol:
     """Honest validators napping on a randomized, compliance-checked schedule.
 
@@ -106,7 +110,7 @@ def churn_scenario(
     )
     if require_compliance:
         check_schedule_compliance(config, schedule, CorruptionPlan.none(), "churn")
-    return TobSvdProtocol(config, schedule=schedule, pool=pool)
+    return TobSvdProtocol(config, schedule=schedule, pool=pool, trace_mode=trace_mode)
 
 
 def late_join_schedule(
@@ -197,6 +201,7 @@ def late_join_scenario(
     join_view: int = 2,
     pool: TransactionPool | None = None,
     require_compliance: bool = True,
+    trace_mode: str = "full",
 ) -> TobSvdProtocol:
     """A block of validators sleeps through the early views, then joins.
 
@@ -217,7 +222,7 @@ def late_join_scenario(
     schedule = late_join_schedule(n, joiners, join_time)
     if require_compliance:
         check_schedule_compliance(config, schedule, CorruptionPlan.none(), "late-join")
-    return TobSvdProtocol(config, schedule=schedule, pool=pool)
+    return TobSvdProtocol(config, schedule=schedule, pool=pool, trace_mode=trace_mode)
 
 
 def bursty_churn_scenario(
@@ -230,6 +235,7 @@ def bursty_churn_scenario(
     awake_views: int = 3,
     pool: TransactionPool | None = None,
     require_compliance: bool = True,
+    trace_mode: str = "full",
 ) -> TobSvdProtocol:
     """Partition-style churn: a fixed group naps together, periodically.
 
@@ -258,7 +264,7 @@ def bursty_churn_scenario(
     )
     if require_compliance:
         check_schedule_compliance(config, schedule, CorruptionPlan.none(), "bursty")
-    return TobSvdProtocol(config, schedule=schedule, pool=pool)
+    return TobSvdProtocol(config, schedule=schedule, pool=pool, trace_mode=trace_mode)
 
 
 def run_scenario(protocol: TobSvdProtocol) -> TobSvdResult:

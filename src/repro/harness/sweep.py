@@ -35,8 +35,6 @@ from statistics import mean
 from typing import Callable
 
 from repro.adversary.tob_attackers import make_tob_attacker_factory
-from repro.analysis.latency import confirmation_times_deltas
-from repro.analysis.metrics import check_safety, count_new_blocks, voting_phases_per_block
 from repro.baselines.structural_tob import StructuralConfig, StructuralTob
 from repro.baselines.structure import PROTOCOL_STRUCTURES, structure_for
 from repro.chain.transactions import TransactionPool
@@ -337,7 +335,7 @@ def _anchored_submissions(
     return txs
 
 
-def run_cell(cell: Cell) -> dict:
+def run_cell(cell: Cell, trace_mode: str = "bounded") -> dict:
     """Execute one cell and return its JSON-able result record.
 
     The record is a pure function of the cell: metrics come from the
@@ -345,10 +343,15 @@ def run_cell(cell: Cell) -> dict:
     parallel runs cannot diverge in formatting), and failures inside the
     simulation are captured as ``status: "error"`` records rather than
     crashing the sweep.
+
+    ``trace_mode`` picks the retention policy only — every metric reads
+    from the streaming reducers, so records are byte-identical between
+    ``full`` and ``bounded`` (the default: sweeps are long-horizon batch
+    work and nothing here replays events).
     """
 
     try:
-        metrics = _execute(cell)
+        metrics = _execute(cell, trace_mode)
         status, error = "ok", None
     except Exception as exc:  # noqa: BLE001 — a cell must never kill the sweep
         metrics, status, error = {}, "error", f"{type(exc).__name__}: {exc}"
@@ -362,7 +365,7 @@ def run_cell(cell: Cell) -> dict:
     }
 
 
-def _execute(cell: Cell) -> dict:
+def _execute(cell: Cell, trace_mode: str = "bounded") -> dict:
     """The measured body of :func:`run_cell` (raises on any failure)."""
 
     if cell.protocol == TOBSVD_NAME:
@@ -392,6 +395,7 @@ def _execute(cell: Cell) -> dict:
                 make_tob_attacker_factory(cell.attacker) if cell.f else None
             ),
             pool=pool,
+            trace_mode=trace_mode,
         )
         result = protocol.run()
         deliveries = result.network.stats.weighted_deliveries
@@ -408,16 +412,18 @@ def _execute(cell: Cell) -> dict:
             if cell.f
             else None
         )
-        result = StructuralTob(structure, config, corruption=corruption, pool=pool).run()
+        result = StructuralTob(
+            structure, config, corruption=corruption, pool=pool, trace_mode=trace_mode
+        ).run()
         deliveries = result.network.stats.weighted_deliveries
 
-    trace = result.trace
-    blocks = count_new_blocks(trace)
-    confirmed = confirmation_times_deltas(trace, txs, cell.delta)
-    phases = voting_phases_per_block(trace, cell.protocol)
+    analysis = result.analysis
+    blocks = analysis.new_blocks
+    confirmed = analysis.confirmation_times_deltas(txs, cell.delta)
+    phases = analysis.voting_phases_per_block(cell.protocol)
     failure_rate = max(0.0, (cell.num_views - blocks) / cell.num_views)
     return {
-        "safe": bool(check_safety(trace).safe),
+        "safe": bool(analysis.safety().safe),
         "blocks": blocks,
         "view_failure_rate": round(failure_rate, 6),
         "confirmed": len(confirmed),
@@ -539,10 +545,11 @@ class SweepOutcome:
         return sorted(self.records, key=lambda r: r["cell_id"])
 
 
-def _run_cell_from_dict(cell_data: dict) -> dict:
+def _run_cell_from_dict(payload: tuple[dict, str]) -> dict:
     """Pool-friendly wrapper: workers receive plain dicts, not dataclasses."""
 
-    return run_cell(Cell.from_dict(cell_data))
+    cell_data, trace_mode = payload
+    return run_cell(Cell.from_dict(cell_data), trace_mode)
 
 
 def run_sweep(
@@ -550,6 +557,7 @@ def run_sweep(
     store: ResultStore | None = None,
     workers: int = 1,
     progress: Callable[[dict], None] | None = None,
+    trace_mode: str = "bounded",
 ) -> SweepOutcome:
     """Expand ``spec`` and execute every not-yet-recorded cell.
 
@@ -562,6 +570,12 @@ def run_sweep(
 
     ``progress`` (if given) is called with each fresh record — the CLI
     uses it for per-cell console lines.
+
+    ``trace_mode`` selects per-cell event retention (``bounded`` by
+    default: each cell holds O(state) memory instead of its full event
+    log).  Records do not embed the mode because metrics are
+    retention-independent — resuming a ``full`` store with ``bounded``
+    cells, or vice versa, is safe.
     """
 
     cells = spec.expand()
@@ -579,9 +593,9 @@ def run_sweep(
 
     if workers <= 1 or len(todo) <= 1:
         for cell in todo:
-            consume(run_cell(cell))
+            consume(run_cell(cell, trace_mode))
     else:
-        payloads = [cell.to_dict() for cell in todo]
+        payloads = [(cell.to_dict(), trace_mode) for cell in todo]
         with multiprocessing.Pool(processes=workers) as pool:
             for record in pool.imap_unordered(_run_cell_from_dict, payloads, chunksize=1):
                 consume(record)

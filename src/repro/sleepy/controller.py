@@ -22,7 +22,8 @@ from repro.net.network import Network
 from repro.sim.simulator import EventPriority, Simulator
 from repro.sleepy.corruption import CorruptionPlan
 from repro.sleepy.schedule import AwakeSchedule
-from repro.trace import ControlEvent, Trace
+from repro.trace import ControlEvent
+from repro.tracebus import TraceBus
 
 
 class ControllableNode(Protocol):
@@ -48,13 +49,13 @@ class SleepController:
         network: Network,
         schedule: AwakeSchedule,
         corruption: CorruptionPlan,
-        trace: Trace | None = None,
+        trace: TraceBus | None = None,
     ) -> None:
         self._sim = simulator
         self._network = network
         self._schedule = schedule
         self._corruption = corruption
-        self._trace = trace
+        self._bus = trace
         self._nodes: dict[int, ControllableNode] = {}
 
     def manage(self, node: ControllableNode) -> None:
@@ -115,8 +116,8 @@ class SleepController:
         node.awake = True
         self._network.flush_pending(vid)
         node.on_wake(self._sim.now)
-        if self._trace is not None:
-            self._trace.emit_control(ControlEvent(self._sim.now, "wake", vid))
+        if self._bus is not None:
+            self._bus.emit_control(ControlEvent(self._sim.now, "wake", vid))
 
     def _sleep(self, vid: int) -> None:
         node = self._nodes[vid]
@@ -124,8 +125,8 @@ class SleepController:
             return
         node.awake = False
         node.on_sleep(self._sim.now)
-        if self._trace is not None:
-            self._trace.emit_control(ControlEvent(self._sim.now, "sleep", vid))
+        if self._bus is not None:
+            self._bus.emit_control(ControlEvent(self._sim.now, "sleep", vid))
 
     def _corrupt(self, vid: int) -> None:
         node = self._nodes[vid]
@@ -135,5 +136,5 @@ class SleepController:
         node.awake = True  # Byzantine validators remain always awake
         self._network.flush_pending(vid)
         node.on_corrupted(self._sim.now)
-        if self._trace is not None:
-            self._trace.emit_control(ControlEvent(self._sim.now, "corrupt-effective", vid))
+        if self._bus is not None:
+            self._bus.emit_control(ControlEvent(self._sim.now, "corrupt-effective", vid))

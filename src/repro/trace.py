@@ -1,10 +1,18 @@
-"""Global execution trace.
+"""Trace event schema and the full-trace recorder.
 
-Every protocol implementation emits structured events into a
-:class:`Trace`; the analysis layer (latency, voting-phase counts,
-timeline rendering) works exclusively off traces, never off protocol
-internals.  Keeping the trace schema in one cross-cutting module avoids
-import cycles between ``repro.core`` and ``repro.harness``.
+Protocol implementations emit structured events — through a
+:class:`~repro.tracebus.TraceBus` in the streaming pipeline, or directly
+into a :class:`Trace` in unit tests — and the analysis layer works
+exclusively off those events, never off protocol internals.  Keeping the
+event schema in one cross-cutting module avoids import cycles between
+``repro.core`` and ``repro.harness``.
+
+:class:`Trace` is the *full-trace recorder*: it retains every event for
+the whole run, which is what the post-hoc query API, the timeline/
+finality replays and the seed determinism fixture need.  On the bus it is
+one optional subscriber among others; bounded-retention runs drop it and
+rely on the streaming reducers of :mod:`repro.analysis.streaming`
+instead.
 """
 
 from __future__ import annotations
@@ -77,7 +85,13 @@ class ControlEvent:
 
 
 class Trace:
-    """Append-only event log shared by one simulation run."""
+    """Append-only event log shared by one simulation run.
+
+    Exposes both halves of the bus contract: the ``emit_*`` methods (so a
+    bare ``Trace`` can stand in for a bus in unit tests) and the ``on_*``
+    subscriber hooks (so a bus can fan events into it).  Both spell
+    "append to the matching list".
+    """
 
     def __init__(self) -> None:
         self.proposals: list[ProposalEvent] = []
@@ -102,6 +116,25 @@ class Trace:
 
     def emit_control(self, event: ControlEvent) -> None:
         self.control.append(event)
+
+    # -- TraceBus subscriber hooks ------------------------------------------
+
+    on_proposal = emit_proposal
+    on_vote_phase = emit_vote_phase
+    on_ga_output = emit_ga_output
+    on_decision = emit_decision
+    on_control = emit_control
+
+    def retained_events(self) -> int:
+        """Events held in memory — the recorder keeps all of them."""
+
+        return (
+            len(self.proposals)
+            + len(self.vote_phases)
+            + len(self.ga_outputs)
+            + len(self.decisions)
+            + len(self.control)
+        )
 
     # -- queries used across analysis ---------------------------------------
 
@@ -133,7 +166,14 @@ class Trace:
         return iter(sorted(self.decisions, key=lambda e: (e.time, e.validator)))
 
     def first_decision_containing(self, tx) -> DecisionEvent | None:
-        """Earliest decision whose log contains transaction ``tx``."""
+        """Earliest decision whose log contains transaction ``tx``.
+
+        Compatibility shim: this is the O(decisions × log length) post-hoc
+        scan.  Hot paths use the streaming first-decision index
+        (:meth:`repro.analysis.streaming.StreamingAnalyzer.first_decision`)
+        instead, which answers in O(1); the property suite keeps the two
+        in lock-step.
+        """
 
         best: DecisionEvent | None = None
         for event in self.decisions:

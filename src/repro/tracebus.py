@@ -1,0 +1,184 @@
+"""TraceBus — the streaming observability layer.
+
+Protocol code used to append every event to the lists of one global
+:class:`~repro.trace.Trace`; long-horizon runs therefore retained every
+event (with full :class:`~repro.chain.log.Log` references) for the whole
+run, and every metric was a fresh O(events) scan afterwards.  The bus
+decouples *emission* from *retention*: emitters publish structured events
+(the same frozen dataclasses as before) and subscribers consume them as
+they happen.  What is kept in memory is a per-subscriber decision:
+
+* the full-trace recorder (:class:`~repro.trace.Trace` itself, now a
+  subscriber) retains everything — the post-hoc query API and the seed
+  determinism fixture work off it, byte-identical to the pre-bus code;
+* the streaming reducers (:class:`~repro.analysis.streaming.
+  StreamingAnalyzer`) fold each event into O(state) aggregates — first
+  decision per transaction, online latency accumulators, voting-phase
+  counters, decision watermarks — and retain no events at all.
+
+The bus guarantees one delivery invariant that reducers exploit: events
+are published in non-decreasing simulation-time order (emission happens
+inside simulator callbacks at ``sim.now``), so "first event seen" equals
+"earliest event" with first-emitted tie-breaking — exactly the tie-break
+the post-hoc scans use.
+
+Retention is selected per run through :func:`build_observability`:
+
+==========  =============================================  ==============
+mode        subscribers                                    peak retention
+==========  =============================================  ==============
+``full``    recorder + streaming reducers                  O(events)
+``bounded``  streaming reducers only                        O(state)
+``off``     none (emission becomes a no-op loop)           O(1)
+==========  =============================================  ==============
+
+Every mode computes measurements through the same streaming reducers, so
+``full`` and ``bounded`` runs produce identical numbers by construction;
+``full`` merely *also* keeps the replayable event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis -> core)
+    from repro.analysis.streaming import StreamingAnalyzer
+
+#: The retention policies understood by :func:`build_observability` and the
+#: ``--trace`` CLI flag.
+TRACE_MODES = ("full", "bounded", "off")
+
+#: (bus channel, subscriber hook) pairs; a subscriber implements any subset.
+CHANNELS = (
+    ("proposal", "on_proposal"),
+    ("vote_phase", "on_vote_phase"),
+    ("ga_output", "on_ga_output"),
+    ("decision", "on_decision"),
+    ("control", "on_control"),
+)
+
+
+class TraceBus:
+    """Publish/subscribe fan-out for simulation trace events.
+
+    The emission API mirrors the old :class:`~repro.trace.Trace` method
+    names (``emit_proposal`` …), so emitters are agnostic about whether
+    they talk to a bus or directly to a legacy recorder — unit tests that
+    hand a bare ``Trace()`` to a validator keep working unchanged.
+
+    Subscribers are duck-typed: :meth:`subscribe` looks up the ``on_*``
+    hook for each channel and registers only the hooks that exist, so a
+    reducer interested in decisions alone pays nothing on the (much
+    hotter) vote-phase channel.
+    """
+
+    __slots__ = ("subscribers", "events_emitted", "_proposal", "_vote_phase",
+                 "_ga_output", "_decision", "_control")
+
+    def __init__(self) -> None:
+        self.subscribers: list[object] = []
+        self.events_emitted = 0
+        self._proposal: list[Callable] = []
+        self._vote_phase: list[Callable] = []
+        self._ga_output: list[Callable] = []
+        self._decision: list[Callable] = []
+        self._control: list[Callable] = []
+
+    def subscribe(self, subscriber: object) -> object:
+        """Register ``subscriber``'s ``on_*`` hooks; returns the subscriber.
+
+        Hooks run in subscription order on every channel, which is what
+        lets a live-stats printer subscribed *after* the reducers read
+        already-updated aggregates from inside its own callback.
+        """
+
+        self.subscribers.append(subscriber)
+        for channel, hook_name in CHANNELS:
+            hook = getattr(subscriber, hook_name, None)
+            if callable(hook):
+                getattr(self, "_" + channel).append(hook)
+        return subscriber
+
+    # -- emission (same names as the legacy Trace recorder) -----------------
+
+    def emit_proposal(self, event) -> None:
+        self.events_emitted += 1
+        for handler in self._proposal:
+            handler(event)
+
+    def emit_vote_phase(self, event) -> None:
+        self.events_emitted += 1
+        for handler in self._vote_phase:
+            handler(event)
+
+    def emit_ga_output(self, event) -> None:
+        self.events_emitted += 1
+        for handler in self._ga_output:
+            handler(event)
+
+    def emit_decision(self, event) -> None:
+        self.events_emitted += 1
+        for handler in self._decision:
+            handler(event)
+
+    def emit_control(self, event) -> None:
+        self.events_emitted += 1
+        for handler in self._control:
+            handler(event)
+
+    # -- memory accounting ---------------------------------------------------
+
+    def retained_events(self) -> int:
+        """Events currently held in memory across all subscribers.
+
+        Recorders report their list lengths; reducers report 0 (they keep
+        aggregates, never events).  Retention is monotone for every
+        shipped subscriber, so the value at end of run *is* the peak.
+        """
+
+        return sum(
+            subscriber.retained_events()
+            for subscriber in self.subscribers
+            if hasattr(subscriber, "retained_events")
+        )
+
+
+@dataclass
+class Observability:
+    """One run's observability wiring: the bus plus its chosen subscribers.
+
+    ``trace`` is the full recorder (``None`` unless mode is ``full``);
+    ``analysis`` is the streaming reducer set (``None`` only for ``off``).
+    """
+
+    mode: str
+    bus: TraceBus
+    trace: Trace | None
+    analysis: "StreamingAnalyzer | None"
+
+
+def build_observability(mode: str = "full") -> Observability:
+    """Wire a :class:`TraceBus` for one run under retention policy ``mode``.
+
+    The streaming reducers live in :mod:`repro.analysis.streaming`; the
+    import happens here, at construction time, so the protocol drivers in
+    ``repro.core`` / ``repro.baselines`` never import the analysis package
+    at module load (``repro.analysis.timeline`` imports ``repro.core``,
+    and a top-level import back would cycle).
+    """
+
+    if mode not in TRACE_MODES:
+        raise ValueError(f"unknown trace mode {mode!r} (known: {TRACE_MODES})")
+    bus = TraceBus()
+    trace: Trace | None = None
+    analysis = None
+    if mode != "off":
+        from repro.analysis.streaming import StreamingAnalyzer
+
+        analysis = bus.subscribe(StreamingAnalyzer())
+        if mode == "full":
+            trace = bus.subscribe(Trace())
+    return Observability(mode=mode, bus=bus, trace=trace, analysis=analysis)

@@ -1,0 +1,77 @@
+"""Slow-marked bounded-memory smoke: 256 views with O(state) retention.
+
+The long-horizon workload the TraceBus exists for: an n=8, 256-view
+stable run emits tens of thousands of trace events (each carrying a full
+``Log`` reference under full retention).  Under ``bounded`` retention
+the run must
+
+* retain **zero** events (the reducers keep aggregates only) while the
+  full-trace twin retains every one of them,
+* keep the reducer state table under a fixed cap that scales with
+  *state* (blocks + ticks + validators), not with events, and
+* produce decisions that match the full-retention run event-for-event
+  (count, per-view earliest times, watermark metrics).
+
+CI runs this file explicitly so a regression that quietly re-attaches
+O(events) retention to bounded mode cannot slip through a green suite.
+"""
+
+import pytest
+
+from repro.harness import stable_scenario
+
+N = 8
+NUM_VIEWS = 256
+DELTA = 2
+
+# Reducer state is ~5 entries per view at n=8 (decided + proposed block
+# ids, earliest-decision marks, phase times); 16 per view is generous
+# headroom that still sits orders of magnitude below the event count.
+STATE_CAP = 16 * NUM_VIEWS
+
+
+@pytest.fixture(scope="module")
+def runs():
+    results = {}
+    for mode in ("bounded", "full"):
+        results[mode] = stable_scenario(
+            n=N, num_views=NUM_VIEWS, delta=DELTA, seed=0, trace_mode=mode
+        ).run()
+    return results
+
+
+@pytest.mark.slow
+class TestBoundedMemoryLongHorizon:
+    def test_bounded_run_retains_no_events(self, runs):
+        bounded = runs["bounded"].observability
+        assert bounded.bus.events_emitted > 10_000
+        assert bounded.bus.retained_events() == 0
+        assert runs["bounded"].trace is None
+
+    def test_full_run_retains_every_event(self, runs):
+        full = runs["full"].observability
+        assert full.bus.retained_events() == full.bus.events_emitted
+        assert full.bus.events_emitted == runs["bounded"].observability.bus.events_emitted
+
+    def test_reducer_state_stays_under_cap(self, runs):
+        analysis = runs["bounded"].analysis
+        assert 0 < analysis.state_entries() <= STATE_CAP
+
+    def test_decisions_match_full_mode_event_for_event(self, runs):
+        bounded = runs["bounded"].analysis
+        full_trace = runs["full"].trace
+        assert bounded.decision_count == len(full_trace.decisions)
+        assert bounded.decision_count == N * (NUM_VIEWS + 1)  # wrap-up view
+        assert bounded.decision_times_by_view() == {
+            view: min(e.time for e in full_trace.decisions if e.view == view)
+            for view in {e.view for e in full_trace.decisions}
+        }
+        assert bounded.new_blocks == NUM_VIEWS
+        assert bounded.chain_growth == NUM_VIEWS
+        assert bounded.safety().safe
+        # The streaming reducers of both runs agree with each other too.
+        full = runs["full"].analysis
+        assert bounded.decision_times_by_view() == full.decision_times_by_view()
+        assert bounded.highest_decision_per_validator() == {
+            vid: log for vid, log in full.highest_decision_per_validator().items()
+        }

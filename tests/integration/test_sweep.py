@@ -165,6 +165,39 @@ class TestCli:
         out = capsys.readouterr().out
         assert "safety holds:          True" in out
 
+    def test_run_cli_prints_live_reducer_stats(self, capsys):
+        assert cli.main(["run", "stable", "--n", "6", "--views", "8",
+                         "--delta", "2", "--stats-every", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "decisions/sec" in out
+        assert "mean latency" in out
+        assert "safety holds:          True" in out
+        assert ", 0 retained" in out  # bounded retention is the default
+
+    def test_run_cli_full_retention_keeps_events(self, capsys):
+        assert cli.main(["run", "stable", "--n", "6", "--views", "6",
+                         "--trace", "full"]) == 0
+        out = capsys.readouterr().out
+        assert ", 0 retained" not in out
+
+    def test_run_cli_trace_off_reports_network_totals_only(self, capsys):
+        assert cli.main(["run", "stable", "--n", "6", "--views", "6",
+                         "--trace", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "tracing off" in out
+        assert "decisions/sec" not in out
+
+    def test_sweep_cli_records_identical_across_trace_modes(self, tmp_path):
+        bodies = {}
+        for mode in ("full", "bounded"):
+            out = tmp_path / f"{mode}.jsonl"
+            assert cli.main([
+                "sweep", "--name", "cli-tr", "--n", "6", "--seeds", "1",
+                "--views", "6", "--out", str(out), "--quiet", "--trace", mode,
+            ]) == 0
+            bodies[mode] = out.read_text(encoding="utf-8")
+        assert bodies["full"] == bodies["bounded"]
+
     def test_spec_file_roundtrip(self, tmp_path):
         import json
 

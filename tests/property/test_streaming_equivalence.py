@@ -1,0 +1,213 @@
+"""Streaming reducers == post-hoc trace analysis, value for value.
+
+Every scenario family in the grid runs once per seed under ``full``
+retention, so the same event stream feeds both the full-trace recorder
+and the streaming reducers.  Each metric the repository computes is then
+checked both ways: the O(events) post-hoc scan over the recorded trace
+against the O(1) streaming query.  This is the contract that lets the
+harness, the sweep engine and the CLI default to bounded retention — a
+bounded run's numbers are exactly the numbers a full trace would have
+produced.
+"""
+
+import pytest
+
+from repro.analysis.latency import (
+    confirmation_time_ticks,
+    confirmation_times_deltas,
+    proposal_anchored_latency_deltas,
+)
+from repro.analysis.metrics import (
+    all_confirmed,
+    chain_growth,
+    check_safety,
+    count_new_blocks,
+    decided_transactions,
+    decision_times_by_view,
+    voting_phases_per_block,
+)
+from repro.analysis.streaming import DecisionRecord
+from repro.baselines.mr_ga import run_mr_ga
+from repro.baselines.structural_tob import StructuralConfig, StructuralTob
+from repro.baselines.structure import structure_for
+from repro.chain.log import Log
+from repro.chain.transactions import TransactionPool
+from repro.harness import (
+    bursty_churn_scenario,
+    churn_scenario,
+    equivocating_scenario,
+    late_join_scenario,
+    stable_scenario,
+)
+from repro.sleepy.corruption import CorruptionPlan
+
+SEEDS = (0, 1)
+
+TOBSVD_FAMILIES = {
+    "stable": lambda seed, pool: stable_scenario(
+        n=8, num_views=6, delta=2, seed=seed, pool=pool
+    ),
+    "equivocating": lambda seed, pool: equivocating_scenario(
+        n=10, f=4, num_views=8, delta=2, seed=seed, pool=pool
+    ),
+    "churn": lambda seed, pool: churn_scenario(
+        n=12, num_views=8, delta=2, seed=seed, pool=pool
+    ),
+    "late-join": lambda seed, pool: late_join_scenario(
+        n=10, num_views=8, delta=2, seed=seed, pool=pool
+    ),
+    "bursty": lambda seed, pool: bursty_churn_scenario(
+        n=12, num_views=10, delta=2, seed=seed, pool=pool
+    ),
+}
+
+DELTA = 2
+
+
+def _assert_equivalent(trace, analysis, txs, protocol_name):
+    """Every post-hoc metric equals its streaming twin on this run."""
+
+    # Event counters.
+    assert analysis.decision_count == len(trace.decisions)
+    assert analysis.proposal_count == len(trace.proposals)
+    assert analysis.vote_phase_count == len(trace.vote_phases)
+    assert analysis.ga_output_count == len(trace.ga_outputs)
+    assert analysis.control_counts == {
+        kind: sum(1 for e in trace.control if e.kind == kind)
+        for kind in {e.kind for e in trace.control}
+    }
+    # Block / phase / safety aggregates.
+    assert analysis.new_blocks == count_new_blocks(trace)
+    assert analysis.chain_growth == chain_growth(trace)
+    assert analysis.vote_phase_times(protocol_name) == trace.vote_phase_times(
+        protocol_name
+    )
+    assert analysis.voting_phases_per_block(protocol_name) == voting_phases_per_block(
+        trace, protocol_name
+    )
+    assert analysis.safety().safe == check_safety(trace).safe
+    assert analysis.decision_times_by_view() == decision_times_by_view(trace)
+    assert analysis.decided_views == {e.view for e in trace.decisions}
+    assert (
+        analysis.highest_decision_per_validator()
+        == trace.highest_decision_per_validator()
+    )
+    assert analysis.decided_transactions() == decided_transactions(trace)
+    assert analysis.all_confirmed(txs) == all_confirmed(trace, txs)
+    # Per-transaction queries: index lookup vs quadratic shim scan.
+    for tx in txs:
+        shim = trace.first_decision_containing(tx)
+        record = analysis.first_decision(tx)
+        if shim is None:
+            assert record is None
+        else:
+            assert record == DecisionRecord(shim.time, shim.view, shim.validator)
+        assert analysis.confirmation_time_ticks(tx) == confirmation_time_ticks(
+            trace, tx
+        )
+        assert analysis.proposal_anchored_latency_deltas(
+            tx, DELTA
+        ) == proposal_anchored_latency_deltas(trace, tx, DELTA)
+    assert analysis.confirmation_times_deltas(txs, DELTA) == confirmation_times_deltas(
+        trace, txs, DELTA
+    )
+    # The online accumulator over watched transactions equals the post-hoc
+    # confirmation summary.
+    snapshot = analysis.latency()
+    ticks = [
+        t for tx in txs if (t := confirmation_time_ticks(trace, tx)) is not None
+    ]
+    assert snapshot.samples == len(ticks)
+    assert snapshot.pending == len(txs) - len(ticks)
+    assert snapshot.sum_ticks == sum(ticks)
+    assert snapshot.min_ticks == (min(ticks) if ticks else None)
+    assert snapshot.max_ticks == (max(ticks) if ticks else None)
+
+
+class TestTobSvdEquivalence:
+    @pytest.mark.parametrize("family", sorted(TOBSVD_FAMILIES))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_streaming_equals_post_hoc(self, family, seed):
+        pool = TransactionPool()
+        protocol = TOBSVD_FAMILIES[family](seed, pool)
+        view_ticks = protocol.config.time.view_ticks
+        txs = [
+            pool.submit(payload=f"eq-{family}-{seed}-{view}",
+                        at_time=view * view_ticks - 1)
+            for view in range(1, protocol.config.num_views - 2)
+        ]
+        for tx in txs:
+            protocol.observability.analysis.watch(tx)
+        result = protocol.run()
+        assert result.trace is not None  # full retention: both pipelines fed
+        _assert_equivalent(result.trace, result.analysis, txs, "tobsvd")
+
+
+class TestStructuralEquivalence:
+    @pytest.mark.parametrize("name", ("mr", "mmr2"))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_streaming_equals_post_hoc_under_attack(self, name, seed):
+        structure = structure_for(name)
+        config = StructuralConfig(n=8, num_views=6, delta=DELTA, seed=seed)
+        pool = TransactionPool()
+        corruption = CorruptionPlan.static(frozenset({6, 7}))
+        protocol = StructuralTob(structure, config, corruption=corruption, pool=pool)
+        view_ticks = structure.view_length_deltas * DELTA
+        txs = [
+            pool.submit(payload=f"st-{name}-{seed}-{view}",
+                        at_time=view * view_ticks - 1)
+            for view in range(1, config.num_views - 1)
+        ]
+        for tx in txs:
+            protocol.observability.analysis.watch(tx)
+        result = protocol.run()
+        _assert_equivalent(result.trace, result.analysis, txs, name)
+
+
+class TestMrGaEquivalence:
+    def test_streaming_equals_post_hoc_on_standalone_ga(self):
+        base = Log.genesis().append_block([], proposer=0, view=0)
+        inputs = {vid: base for vid in range(6)}
+        result = run_mr_ga(n=6, delta=DELTA, inputs=inputs)
+        trace, analysis = result.trace, result.analysis
+        assert analysis.vote_phase_count == len(trace.vote_phases)
+        assert analysis.ga_output_count == len(trace.ga_outputs)
+        assert analysis.vote_phase_times("mr-ga") == trace.vote_phase_times("mr-ga")
+
+
+class TestBoundedModeProducesIdenticalNumbers:
+    @pytest.mark.parametrize("family", ("stable", "equivocating"))
+    def test_full_vs_bounded_metrics_match(self, family):
+        def measure(trace_mode):
+            pool = TransactionPool()
+            if family == "stable":
+                protocol = stable_scenario(
+                    n=8, num_views=6, delta=DELTA, seed=3, pool=pool,
+                    trace_mode=trace_mode,
+                )
+            else:
+                protocol = equivocating_scenario(
+                    n=10, f=4, num_views=8, delta=DELTA, seed=3, pool=pool,
+                    trace_mode=trace_mode,
+                )
+            view_ticks = protocol.config.time.view_ticks
+            txs = [
+                pool.submit(payload=f"fb-{view}", at_time=view * view_ticks - 1)
+                for view in range(1, protocol.config.num_views - 2)
+            ]
+            result = protocol.run()
+            analysis = result.analysis
+            return (
+                analysis.decision_count,
+                analysis.new_blocks,
+                analysis.safety().safe,
+                analysis.voting_phases_per_block("tobsvd"),
+                analysis.decision_times_by_view(),
+                analysis.confirmation_times_deltas(txs, DELTA),
+                result.trace is not None,
+            )
+
+        full = measure("full")
+        bounded = measure("bounded")
+        assert full[:-1] == bounded[:-1]
+        assert full[-1] and not bounded[-1]

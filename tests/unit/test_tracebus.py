@@ -1,0 +1,249 @@
+"""Unit tests for the TraceBus pub/sub layer and the streaming reducers."""
+
+import pytest
+
+from repro.analysis.streaming import DecisionRecord, StreamingAnalyzer
+from repro.trace import (
+    ControlEvent,
+    DecisionEvent,
+    GaOutputEvent,
+    ProposalEvent,
+    Trace,
+    VotePhaseEvent,
+)
+from repro.tracebus import TRACE_MODES, TraceBus, build_observability
+from tests.conftest import chain_of, fork_of, make_tx
+
+
+def _decision(time, validator, log, view=0):
+    return DecisionEvent(time=time, view=view, validator=validator, log=log)
+
+
+class _DecisionsOnly:
+    """A subscriber implementing a single channel hook."""
+
+    def __init__(self):
+        self.seen = []
+
+    def on_decision(self, event):
+        self.seen.append(event)
+
+
+class TestTraceBus:
+    def test_fans_out_every_channel_to_a_full_subscriber(self):
+        bus = TraceBus()
+        trace = bus.subscribe(Trace())
+        log = chain_of(1)
+        bus.emit_proposal(ProposalEvent(0, 0, 1, log, 0.5))
+        bus.emit_vote_phase(VotePhaseEvent(1, "p", 0, "vote", 1, log))
+        bus.emit_ga_output(GaOutputEvent(2, ("p", 0), 1, log, 0))
+        bus.emit_decision(_decision(3, 1, log))
+        bus.emit_control(ControlEvent(4, "wake", 1))
+        assert bus.events_emitted == 5
+        assert trace.retained_events() == 5
+        assert len(trace.decisions) == 1
+
+    def test_partial_subscribers_only_hear_their_channels(self):
+        bus = TraceBus()
+        sub = bus.subscribe(_DecisionsOnly())
+        log = chain_of(1)
+        bus.emit_vote_phase(VotePhaseEvent(1, "p", 0, "vote", 1, log))
+        bus.emit_decision(_decision(3, 1, log))
+        assert len(sub.seen) == 1
+        assert bus.events_emitted == 2
+
+    def test_subscribers_run_in_subscription_order(self):
+        bus = TraceBus()
+        analysis = bus.subscribe(StreamingAnalyzer())
+        observed = []
+
+        class Reader:
+            def on_decision(self, event):
+                # The reducer subscribed first already folded this event.
+                observed.append(analysis.decision_count)
+
+        bus.subscribe(Reader())
+        bus.emit_decision(_decision(1, 0, chain_of(1)))
+        bus.emit_decision(_decision(2, 1, chain_of(1)))
+        assert observed == [1, 2]
+
+    def test_retained_events_sums_subscribers(self):
+        bus = TraceBus()
+        bus.subscribe(StreamingAnalyzer())  # retains nothing
+        trace = bus.subscribe(Trace())
+        for i in range(3):
+            bus.emit_decision(_decision(i, 0, chain_of(1)))
+        assert bus.retained_events() == 3
+        assert trace.retained_events() == 3
+
+    def test_emission_with_no_subscribers_is_a_counted_noop(self):
+        bus = TraceBus()
+        bus.emit_decision(_decision(0, 0, chain_of(1)))
+        assert bus.events_emitted == 1
+        assert bus.retained_events() == 0
+
+
+class TestBuildObservability:
+    def test_full_mode_has_recorder_and_reducers(self):
+        obs = build_observability("full")
+        assert obs.mode == "full"
+        assert obs.trace is not None
+        assert obs.analysis is not None
+        obs.bus.emit_decision(_decision(1, 0, chain_of(1)))
+        assert len(obs.trace.decisions) == 1
+        assert obs.analysis.decision_count == 1
+
+    def test_bounded_mode_drops_the_recorder(self):
+        obs = build_observability("bounded")
+        assert obs.trace is None
+        assert obs.analysis is not None
+        obs.bus.emit_decision(_decision(1, 0, chain_of(1)))
+        assert obs.bus.retained_events() == 0
+        assert obs.analysis.decision_count == 1
+
+    def test_off_mode_has_no_subscribers(self):
+        obs = build_observability("off")
+        assert obs.trace is None
+        assert obs.analysis is None
+        assert obs.bus.subscribers == []
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_observability("sometimes")
+        assert TRACE_MODES == ("full", "bounded", "off")
+
+
+class TestStreamingDecisions:
+    def test_first_decision_matches_trace_shim(self, genesis):
+        analysis = StreamingAnalyzer()
+        trace = Trace()
+        tx = make_tx(5)
+        with_tx = genesis.append_block([tx], proposer=0, view=0)
+        longer = with_tx.append_block([make_tx(6)], proposer=1, view=1)
+        for event in (
+            _decision(10, 0, genesis),
+            _decision(15, 1, with_tx),
+            _decision(20, 0, longer),
+        ):
+            trace.emit_decision(event)
+            analysis.on_decision(event)
+        shim = trace.first_decision_containing(tx)
+        record = analysis.first_decision(tx)
+        assert record == DecisionRecord(shim.time, shim.view, shim.validator)
+        assert analysis.first_decision(make_tx(99)) is None
+
+    def test_new_block_counting_walks_suffixes_once(self):
+        analysis = StreamingAnalyzer()
+        chain = chain_of(3)
+        analysis.on_decision(_decision(1, 0, chain.prefix(2)))
+        assert analysis.new_blocks == 1
+        analysis.on_decision(_decision(2, 0, chain))
+        assert analysis.new_blocks == 3
+        analysis.on_decision(_decision(3, 1, chain))  # nothing new
+        assert analysis.new_blocks == 3
+        assert analysis.chain_growth == 3
+
+    def test_safety_flags_conflicting_decisions(self):
+        analysis = StreamingAnalyzer()
+        base = chain_of(2)
+        analysis.on_decision(_decision(1, 0, base))
+        analysis.on_decision(_decision(2, 1, fork_of(base, tag=1)))
+        assert analysis.safety().safe
+        analysis.on_decision(_decision(3, 2, fork_of(base, tag=2)))
+        report = analysis.safety()
+        assert not report.safe
+        assert report.conflict is not None
+
+    def test_highest_decision_per_validator(self):
+        analysis = StreamingAnalyzer()
+        chain = chain_of(3)
+        analysis.on_decision(_decision(1, 0, chain.prefix(2)))
+        analysis.on_decision(_decision(2, 0, chain))
+        analysis.on_decision(_decision(3, 0, chain.prefix(1)))
+        assert analysis.highest_decision_per_validator()[0] == chain
+        assert analysis.max_decided_log() == chain
+
+    def test_decision_times_by_view_keeps_earliest(self):
+        analysis = StreamingAnalyzer()
+        log = chain_of(1)
+        analysis.on_decision(_decision(8, 0, log, view=1))
+        analysis.on_decision(_decision(9, 1, log, view=1))
+        assert analysis.decision_times_by_view() == {1: 8}
+        assert analysis.decided_views == {1}
+
+
+class TestStreamingLatency:
+    def test_watch_before_decision_folds_on_arrival(self, genesis):
+        analysis = StreamingAnalyzer()
+        tx = make_tx(1, at=4)
+        analysis.watch(tx)
+        assert analysis.latency().pending == 1
+        analysis.on_decision(_decision(12, 0, genesis.append_block([tx], 0, 0)))
+        snapshot = analysis.latency()
+        assert snapshot.pending == 0
+        assert (snapshot.samples, snapshot.sum_ticks) == (1, 8)
+        assert snapshot.mean_deltas(2) == 4.0
+
+    def test_watch_after_decision_settles_immediately(self, genesis):
+        analysis = StreamingAnalyzer()
+        tx = make_tx(1, at=4)
+        analysis.on_decision(_decision(12, 0, genesis.append_block([tx], 0, 0)))
+        analysis.watch(tx, anchor=6)
+        snapshot = analysis.latency()
+        assert (snapshot.samples, snapshot.pending, snapshot.sum_ticks) == (1, 0, 6)
+
+    def test_watch_is_idempotent(self, genesis):
+        analysis = StreamingAnalyzer()
+        tx = make_tx(1, at=4)
+        analysis.watch(tx)
+        analysis.watch(tx)  # re-watch pending: first anchor stands, no dup
+        assert analysis.latency().pending == 1
+        analysis.on_decision(_decision(12, 0, genesis.append_block([tx], 0, 0)))
+        analysis.watch(tx)  # re-watch confirmed: must not double-count
+        snapshot = analysis.latency()
+        assert (snapshot.samples, snapshot.sum_ticks, snapshot.pending) == (1, 8, 0)
+
+    def test_confirmation_queries_mirror_post_hoc_semantics(self, genesis):
+        analysis = StreamingAnalyzer()
+        tx = make_tx(1, at=3)
+        missing = make_tx(2, at=3)
+        analysis.on_decision(_decision(11, 0, genesis.append_block([tx], 0, 0)))
+        assert analysis.confirmation_time_ticks(tx) == 8
+        assert analysis.confirmation_time_ticks(missing) is None
+        assert analysis.confirmation_times_deltas([tx, missing], 2) == [4.0]
+        assert analysis.anchored_latency_deltas(tx, anchor=7, delta=2) == 2.0
+        assert analysis.all_confirmed([tx])
+        assert not analysis.all_confirmed([tx, missing])
+        assert analysis.decided_transactions() == {1}
+
+
+class TestStreamingPhasesAndProposals:
+    def test_voting_phase_counter_dedups_times_per_protocol(self):
+        analysis = StreamingAnalyzer()
+        log = chain_of(1)
+        for validator in range(3):
+            analysis.on_vote_phase(VotePhaseEvent(8, "a", 0, "vote", validator, log))
+        analysis.on_vote_phase(VotePhaseEvent(16, "a", 1, "vote", 0, log))
+        analysis.on_vote_phase(VotePhaseEvent(8, "b", 0, "vote", 0, log))
+        assert analysis.vote_phase_times("a") == [8, 16]
+        assert analysis.vote_phase_times("b") == [8]
+        assert analysis.voting_phases_per_block("a") is None  # no blocks yet
+        analysis.on_decision(_decision(20, 0, log))
+        assert analysis.voting_phases_per_block("a") == 2.0
+
+    def test_proposal_index_supports_proposal_anchored_latency(self, genesis):
+        analysis = StreamingAnalyzer()
+        tx = make_tx(1, at=0)
+        proposed = genesis.append_block([tx], proposer=0, view=1)
+        analysis.on_proposal(ProposalEvent(4, 1, 0, proposed, 0.3))
+        analysis.on_proposal(ProposalEvent(8, 2, 1, proposed, 0.4))  # re-batch later
+        analysis.on_decision(_decision(16, 0, proposed))
+        assert analysis.proposal_anchored_latency_deltas(tx, delta=2) == 6.0
+        assert analysis.proposal_anchored_latency_deltas(make_tx(9), delta=2) is None
+
+    def test_state_entries_reports_reducer_footprint(self):
+        analysis = StreamingAnalyzer()
+        assert analysis.state_entries() == 0
+        analysis.on_decision(_decision(1, 0, chain_of(2)))
+        assert analysis.state_entries() > 0
+        assert analysis.retained_events() == 0
