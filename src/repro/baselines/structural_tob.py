@@ -400,6 +400,7 @@ class StructuralTob:
         delay_policy: DelayPolicy | None = None,
         pool: TransactionPool | None = None,
         trace_mode: str = "full",
+        registry: KeyRegistry | None = None,
     ) -> None:
         if structure.best_case_latency_deltas > structure.view_length_deltas:
             raise ValueError(
@@ -407,10 +408,16 @@ class StructuralTob:
                 f"{structure.name} has best-case {structure.best_case_latency_deltas}Δ "
                 f"> view {structure.view_length_deltas}Δ (use the real protocol instead)"
             )
+        if registry is not None and registry.n != config.n:
+            raise ValueError(
+                f"prebuilt registry covers n={registry.n}, run needs n={config.n}"
+            )
         self.structure = structure
         self.config = config
         self.simulator = Simulator(seed=config.seed)
-        self.registry = KeyRegistry(config.n, seed=config.seed)
+        self.registry = (
+            registry if registry is not None else KeyRegistry(config.n, seed=config.seed)
+        )
         policy = delay_policy if delay_policy is not None else UniformDelay(config.delta)
         self.network = Network(self.simulator, config.delta, self.registry, policy)
         self.observability = build_observability(trace_mode)

@@ -7,7 +7,9 @@ Five subcommands front the experiment subsystem:
   streaming-reducer stats (decisions/sec, mean latency so far) while it
   runs;
 * ``sweep`` — expand a declarative experiment grid (inline flags or a
-  JSON spec file) and execute it on a worker pool with resume support;
+  JSON spec file) and execute it on a warm worker pool with chunked
+  dispatch (``--workers``/``--chunksize``/``--warm``) and resume
+  support;
 * ``table1`` — regenerate the paper's Table 1 (paper vs analytic model
   vs measured), ``--smoke`` for a seconds-long CI variant;
 * ``scenario`` — run one named scenario family and print its summary;
@@ -91,13 +93,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    outcome = run_sweep(
-        spec,
-        store=store,
-        workers=args.workers,
-        progress=progress,
-        trace_mode=args.trace,
-    )
+    executor = None
+    if args.workers > 1:
+        from repro.harness.executor import SweepExecutor
+
+        executor = SweepExecutor(workers=args.workers, chunksize=args.chunksize)
+        if args.warm:
+            import time as _time
+
+            started = _time.perf_counter()
+            executor.warmup()
+            print(
+                f"warmed {args.workers} workers in "
+                f"{_time.perf_counter() - started:.2f}s",
+                flush=True,
+            )
+    try:
+        outcome = run_sweep(
+            spec,
+            store=store,
+            workers=args.workers,
+            progress=progress,
+            trace_mode=args.trace,
+            executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     print(
         f"sweep '{spec.name}': {outcome.total_cells} cells, "
         f"{outcome.executed} executed, {outcome.skipped} resumed-skip"
@@ -374,6 +396,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--views", type=int, default=8, help="views per run")
     sweep.add_argument("--txs", type=int, default=8, help="transactions per cell")
     sweep.add_argument("--workers", type=int, default=1, help="worker processes")
+    sweep.add_argument("--chunksize", type=int, default=0,
+                       help="cells per dispatch chunk (0 = adaptive: "
+                       "~4 chunks per worker, capped at 16)")
+    sweep.add_argument("--warm", action="store_true",
+                       help="start and warm the worker pool (pre-imported "
+                       "protocol stack) before dispatching cells, so pool "
+                       "start-up is excluded from the sweep itself; "
+                       "no-op with --workers 1")
     sweep.add_argument("--out", default="sweep_results.jsonl",
                        help="append-only JSONL result store (resume source)")
     sweep.add_argument("--csv", default=None, help="write aggregate CSV here")

@@ -387,10 +387,20 @@ class TobSvdProtocol:
         validator_class: type[TobSvdValidator] | None = None,
         buffer_while_asleep: bool = True,
         trace_mode: str = "full",
+        registry: KeyRegistry | None = None,
     ) -> None:
         self.config = config
         self.simulator = Simulator(seed=config.seed)
-        self.registry = KeyRegistry(config.n, seed=config.seed)
+        # A caller-provided registry must be the (n, seed) one this run
+        # would build itself — the sweep prebuild cache hands back exactly
+        # that, amortizing keyset construction across cells and runs.
+        if registry is not None and registry.n != config.n:
+            raise ValueError(
+                f"prebuilt registry covers n={registry.n}, run needs n={config.n}"
+            )
+        self.registry = (
+            registry if registry is not None else KeyRegistry(config.n, seed=config.seed)
+        )
         policy = delay_policy if delay_policy is not None else UniformDelay(config.delta)
         self.network = Network(
             self.simulator,

@@ -4,9 +4,16 @@ parallel sweep engine behind ``python -m repro sweep``.
 * :mod:`repro.harness.scenarios` — canned worlds (stable, equivocating,
   churn, late-join, bursty/partition churn);
 * :mod:`repro.harness.runner` — the Table-1 measurement runners;
-* :mod:`repro.harness.sweep` — declarative grids, the multiprocessing
-  executor, and the append-only JSONL result store.
+* :mod:`repro.harness.sweep` — declarative grids, cell execution, and
+  the append-only JSONL result store;
+* :mod:`repro.harness.executor` — the persistent, warm sweep worker
+  pool with chunked dispatch;
+* :mod:`repro.harness.prebuild` — per-process caches of immutable cell
+  scaffolding (keysets, delay policies, compliance-checked schedules).
 """
+
+from repro.harness.executor import SweepExecutor
+from repro.harness.prebuild import PREBUILD, PrebuildCache
 
 from repro.harness.runner import (
     collect_table1_measurements,
@@ -32,11 +39,16 @@ from repro.harness.sweep import (
     ExperimentSpec,
     ResultStore,
     SweepOutcome,
+    prepare_cell,
     run_cell,
     run_sweep,
 )
 
 __all__ = [
+    "PREBUILD",
+    "PrebuildCache",
+    "SweepExecutor",
+    "prepare_cell",
     "collect_table1_measurements",
     "measure_all_structural",
     "measure_best_case_latency",

@@ -1,0 +1,225 @@
+"""The persistent sweep worker pool: warm workers, chunked dispatch.
+
+``run_sweep`` historically spun up a throwaway ``multiprocessing.Pool``
+per sweep and shipped cells one at a time (``chunksize=1``).  For grids
+of hundreds of small cells the orchestration — pool spin-up, worker
+imports, per-cell IPC round-trips, per-cell scaffolding rebuilds —
+rivals the simulation work itself.  :class:`SweepExecutor` makes grid
+execution the fast path:
+
+* **Warm pool.**  One pool, created lazily on first dispatch (or
+  eagerly via :meth:`warmup`), reused across any number of sweeps.  The
+  worker initializer pre-imports the whole protocol stack so the first
+  real cell does not pay import latency inside the worker.
+* **Spawn start method.**  Workers are started fresh (``spawn``) rather
+  than forked: identical behaviour on Linux/macOS/Windows, no
+  fork-with-threads hazards, and an honest cold-start cost that the
+  warm pool then amortizes away.  (This is also why the initializer
+  matters — under ``fork`` imports are inherited, under ``spawn`` they
+  are not.)
+* **Adaptive chunked dispatch.**  Cells ship in chunks sized from the
+  grid and worker count (``chunksize=0`` picks
+  ``clamp(todo / (workers * 4), 1, 16)``), collapsing per-cell IPC
+  round-trips while keeping enough chunks in flight for load balance.
+* **Worker-side serialization.**  Workers return each record already in
+  canonical JSONL form; the parent appends the raw line to the
+  ``ResultStore`` instead of re-serializing (one canonical encoder, one
+  invocation — byte-identity across serial/parallel is by construction).
+
+Determinism is unaffected by any of this: cells derive all randomness
+from their own coordinates, workers share no mutable state, and the
+per-worker prebuild caches (:mod:`repro.harness.prebuild`) hold only
+artefacts that are pure functions of their cache key.  Completion order
+*within* a sweep may vary with chunking — exactly as it already did
+with ``imap_unordered`` — which is why consumers read sorted records.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+
+
+def _resolved_start_method(preferred: str) -> str:
+    """``preferred``, downgraded to ``fork`` when ``spawn`` cannot work.
+
+    ``spawn`` re-imports ``__main__`` from its file path inside every
+    worker.  When the parent's ``__main__`` is not a real importable
+    file — a heredoc/stdin script, some embedded interpreters — each
+    worker would crash during start-up and the pool would respawn
+    replacements forever.  Those parents get ``fork`` where the platform
+    offers it (the pre-executor behaviour on Linux); real scripts,
+    ``python -m repro`` and pytest all keep ``spawn``.
+    """
+
+    if preferred != "spawn":
+        return preferred
+    main_file = getattr(sys.modules.get("__main__"), "__file__", None)
+    if main_file is not None and not os.path.exists(main_file):
+        if "fork" in multiprocessing.get_all_start_methods():
+            return "fork"
+    return preferred
+
+
+def _worker_init() -> None:
+    """Pre-import the protocol stack inside a fresh worker process.
+
+    Everything a cell can touch: the real protocol, the structural
+    baselines, attackers, scenario builders, streaming analysis.  Also
+    primes the genesis log so the first cell starts from a warm chain
+    root.  Under ``spawn`` this is the difference between the first
+    dispatched cell costing ~an import of the whole package and costing
+    ~a cell.
+    """
+
+    import repro.adversary.tob_attackers  # noqa: F401
+    import repro.analysis.streaming  # noqa: F401
+    import repro.baselines.structural_tob  # noqa: F401
+    import repro.core.tobsvd  # noqa: F401
+    import repro.harness.scenarios  # noqa: F401
+    import repro.harness.sweep  # noqa: F401
+    from repro.chain.log import Log
+
+    Log.genesis()
+
+
+def _worker_ping(_: int) -> int:
+    """No-op task used by :meth:`SweepExecutor.warmup` as a barrier."""
+
+    return 0
+
+
+def _run_cell_to_line(payload: tuple[dict, str]) -> str:
+    """Worker entry point: execute one cell, return its canonical line.
+
+    Serializing in the worker (a) moves the JSON encode off the parent's
+    critical path and (b) guarantees the parent appends exactly the
+    canonical bytes — there is a single serialization per record,
+    produced by the same :func:`repro.harness.sweep.canonical_record`
+    the serial path uses.
+    """
+
+    from repro.harness.sweep import Cell, canonical_record, run_cell
+
+    cell_data, trace_mode = payload
+    return canonical_record(run_cell(Cell.from_dict(cell_data), trace_mode))
+
+
+def adaptive_chunksize(todo: int, workers: int) -> int:
+    """Chunk size balancing IPC amortization against load balance.
+
+    Aim for ~4 chunks per worker (stragglers get rebalanced), capped at
+    16 (bound worst-case loss when a chunk lands on a slow worker) and
+    floored at 1.
+    """
+
+    if todo <= 0 or workers <= 0:
+        return 1
+    return max(1, min(16, todo // (workers * 4) or 1))
+
+
+class SweepExecutor:
+    """A reusable, context-managed worker pool for sweep execution.
+
+    Usage::
+
+        with SweepExecutor(workers=4) as executor:
+            executor.warmup()                      # optional: pay start-up now
+            run_sweep(spec_a, store=a, executor=executor)
+            run_sweep(spec_b, store=b, executor=executor)  # warm pool reused
+
+    The pool is created lazily on first use, so constructing an executor
+    is free.  ``close()`` (or leaving the ``with`` block) terminates the
+    workers; a closed executor refuses further dispatch.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        chunksize: int = 0,
+        start_method: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunksize < 0:
+            raise ValueError("chunksize must be >= 0 (0 = adaptive)")
+        self.workers = workers
+        self.chunksize = chunksize
+        self._start_method = start_method
+        self._pool = None
+        self._closed = False
+        self.sweeps_dispatched = 0
+        self.cells_dispatched = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self._pool is None:
+            context = multiprocessing.get_context(
+                _resolved_start_method(self._start_method)
+            )
+            self._pool = context.Pool(
+                processes=self.workers, initializer=_worker_init
+            )
+        return self._pool
+
+    @property
+    def started(self) -> bool:
+        """Whether the worker pool has been created yet."""
+
+        return self._pool is not None
+
+    def warmup(self) -> None:
+        """Start the pool now and wait until workers are serving tasks.
+
+        A best-effort barrier: the initializer runs in every worker
+        before it accepts tasks, and the ping round-trip confirms at
+        least one worker is through it (the rest initialize in
+        parallel).  Calling this before a timed sweep moves pool
+        start-up out of the measurement — the ``--warm`` CLI flag and
+        the cells/sec benchmarks rely on it.
+        """
+
+        pool = self._ensure_pool()
+        pool.map(_worker_ping, range(self.workers), chunksize=1)
+
+    def close(self) -> None:
+        """Terminate the workers.  Idempotent."""
+
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def map_cells(self, cells, trace_mode: str = "bounded", chunksize: int | None = None):
+        """Execute ``cells`` on the pool; yield canonical JSONL lines.
+
+        Lines arrive in completion order (``imap_unordered``), one per
+        cell, each exactly as the worker serialized it.  ``chunksize``
+        overrides the executor default for this dispatch; ``0`` (or an
+        executor constructed with 0) picks :func:`adaptive_chunksize`.
+        """
+
+        cells = list(cells)
+        if not cells:
+            return iter(())
+        pool = self._ensure_pool()
+        effective = chunksize if chunksize is not None else self.chunksize
+        if effective == 0:
+            effective = adaptive_chunksize(len(cells), self.workers)
+        payloads = [(cell.to_dict(), trace_mode) for cell in cells]
+        self.sweeps_dispatched += 1
+        self.cells_dispatched += len(cells)
+        return pool.imap_unordered(_run_cell_to_line, payloads, chunksize=effective)

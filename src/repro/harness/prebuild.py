@@ -1,0 +1,206 @@
+"""Per-worker prebuild caches: amortized cell scaffolding for sweeps.
+
+Executing a grid cell spends a measurable slice of its time *around* the
+simulation: building the key registry, constructing the delay policy,
+generating the participation schedule and proving it compliant with the
+sleepy-model condition.  All of those artefacts are **immutable given a
+config-hash fragment** — a keyset depends only on ``(n, seed)``, a
+uniform delay policy only on ``Δ``, a late-join schedule only on the
+``(n, f, Δ, views, participation)`` fragment — so neighbouring cells of
+a grid (and repeated sweeps over the same grid, the warm-executor case)
+can share them instead of rebuilding from scratch.
+
+The cache is deliberately conservative about what it will hold:
+
+* **May be cached** — objects whose observable behaviour is a pure
+  function of their cache key and that no run mutates: ``KeyRegistry``
+  (its internal MAC memo only short-circuits recomputation of a pure
+  function), ``UniformDelay``, static ``CorruptionPlan``s,
+  compliance-checked ``AwakeSchedule``s.
+* **Must not be cached** — anything a run mutates or that carries run
+  state: ``TransactionPool``s, ``Network``/``Simulator`` instances,
+  ``VRF`` objects (their memo is harmless, but they are cheap and
+  run-scoped by design), protocol/validator objects, trace buses.
+
+Because every artefact handed out is behaviourally identical to a
+freshly-built one, cell records are byte-identical with the cache on or
+off, across serial and parallel execution — the sweep determinism
+fixtures enforce this.
+
+One process-wide :data:`PREBUILD` instance serves both the in-process
+serial path and the sweep workers (each worker process gets its own by
+construction).  Caches are bounded FIFO; eviction only ever costs a
+rebuild.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.signatures import KeyRegistry
+from repro.harness.scenarios import (
+    bursty_schedule,
+    check_schedule_compliance,
+    late_join_schedule,
+)
+from repro.net.delays import UniformDelay
+from repro.sleepy.corruption import CorruptionPlan
+from repro.sleepy.schedule import AwakeSchedule
+
+
+def build_tobsvd_schedule(cell, config) -> AwakeSchedule | None:
+    """The (uncached) participation schedule for a TOB-SVD cell.
+
+    Sleepers are always drawn from the *honest* ids (``0 .. n-f-1``) —
+    Byzantine validators remain always awake per the model — and the
+    sleeper count is capped at ``n - 2f - 1`` so an all-asleep burst
+    cannot hand the adversary an active majority.
+    """
+
+    if cell.participation == "stable":
+        return None
+    honest = cell.n - cell.f
+    max_sleepers = max(0, min(honest - 1, cell.n - 2 * cell.f - 1))
+    count = min(max_sleepers, max(1, honest // 4))
+    if count <= 0:
+        # Refuse rather than silently run stable participation: a record
+        # labelled churn/late-join/bursty must never carry stable-world
+        # metrics.  The cell becomes an "error" record instead.
+        raise ValueError(
+            f"participation {cell.participation!r} infeasible at n={cell.n} "
+            f"f={cell.f}: no honest validator can sleep without handing the "
+            "adversary an active majority"
+        )
+    sleepers = tuple(range(honest - count, honest))
+    view_ticks = config.time.view_ticks
+    if cell.participation == "late-join":
+        join_time = max(0, config.time.view_start(2) - 2 * cell.delta)
+        return late_join_schedule(cell.n, sleepers, join_time)
+    if cell.participation == "bursty":
+        return bursty_schedule(
+            cell.n,
+            sleepers,
+            horizon=config.horizon,
+            first_nap=2 * view_ticks,
+            nap_ticks=2 * view_ticks,
+            awake_ticks=3 * view_ticks,
+        )
+    # "churn": randomized staggered naps, seeded from the cell.
+    rng = random.Random(cell.run_seed ^ 0x5EED)
+    return AwakeSchedule.random_churn(
+        n=cell.n,
+        horizon=config.horizon,
+        rng=rng,
+        churners=sleepers,
+        min_awake=2 * view_ticks,
+        min_asleep=7 * cell.delta,
+    )
+
+
+@dataclass
+class PrebuildCache:
+    """Bounded caches of immutable cell scaffolding, keyed by fragments."""
+
+    limit: int = 256
+    _registries: dict = field(default_factory=dict)
+    _delays: dict = field(default_factory=dict)
+    _corruptions: dict = field(default_factory=dict)
+    _schedules: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def _get(self, cache: dict, key, build):
+        value = cache.get(key)
+        if value is not None or key in cache:  # None is a legal cached value
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = build()
+        if len(cache) >= self.limit:
+            cache.pop(next(iter(cache)))  # FIFO: oldest insertion goes first
+        cache[key] = value
+        return value
+
+    # -- the cacheable artefact families ------------------------------------
+
+    def registry(self, n: int, seed: int) -> KeyRegistry:
+        """The keyset for an ``(n, seed)`` validator universe."""
+
+        return self._get(
+            self._registries, (n, seed), lambda: KeyRegistry(n, seed=seed)
+        )
+
+    def delay_policy(self, delta: int) -> UniformDelay:
+        """The worst-case-synchrony policy for ``Δ`` (stateless, shared)."""
+
+        return self._get(self._delays, delta, lambda: UniformDelay(delta))
+
+    def corruption(self, n: int, f: int) -> CorruptionPlan | None:
+        """The static top-``f``-ids corruption plan (``None`` when f=0)."""
+
+        if f <= 0:
+            return None
+        return self._get(
+            self._corruptions,
+            (n, f),
+            lambda: CorruptionPlan.static(frozenset(range(n - f, n))),
+        )
+
+    def tobsvd_schedule(self, cell, config) -> AwakeSchedule | None:
+        """The compliance-checked participation schedule for a sweep cell.
+
+        Keyed by the fragment the schedule actually depends on: the grid
+        coordinates for the deterministic families (late-join, bursty —
+        shared by every seed of a grid point), plus the cell's derived
+        run seed for randomized churn (per-cell by construction).  Only
+        *passing* schedules are cached; infeasible or non-compliant
+        combinations re-raise on every attempt so error records stay
+        identical across cache states.
+        """
+
+        if cell.participation == "stable":
+            return None
+        key = (cell.n, cell.f, cell.delta, cell.num_views, cell.participation)
+        if cell.participation == "churn":
+            key += (cell.run_seed,)
+
+        def build() -> AwakeSchedule:
+            schedule = build_tobsvd_schedule(cell, config)
+            check_schedule_compliance(
+                config,
+                schedule,
+                self.corruption(cell.n, cell.f) or CorruptionPlan.none(),
+                cell.participation,
+            )
+            return schedule
+
+        return self._get(self._schedules, key, build)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit/miss counters plus per-family sizes (for bench reporting)."""
+
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "registries": len(self._registries),
+            "delay_policies": len(self._delays),
+            "corruptions": len(self._corruptions),
+            "schedules": len(self._schedules),
+        }
+
+    def clear(self) -> None:
+        for cache in (
+            self._registries, self._delays, self._corruptions, self._schedules
+        ):
+            cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The process-wide cache: the serial sweep path and every worker process
+#: share one instance each (workers get their own copy by virtue of being
+#: separate processes).
+PREBUILD = PrebuildCache()

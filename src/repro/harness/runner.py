@@ -33,8 +33,8 @@ from repro.baselines.structural_tob import StructuralConfig, StructuralTob
 from repro.baselines.structure import structure_for
 from repro.chain.transactions import Transaction, TransactionPool
 from repro.core.tobsvd import PROTOCOL_NAME as TOBSVD_NAME
+from repro.harness.prebuild import PREBUILD
 from repro.harness.scenarios import equivocating_scenario, stable_scenario
-from repro.sleepy.corruption import CorruptionPlan
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,8 @@ def measure_best_case_latency(
 
     pool = TransactionPool()
     protocol = stable_scenario(
-        n=n, num_views=5, delta=delta, seed=seed, pool=pool, trace_mode=trace_mode
+        n=n, num_views=5, delta=delta, seed=seed, pool=pool, trace_mode=trace_mode,
+        registry=PREBUILD.registry(n, seed),
     )
     anchors: list[tuple[Transaction, int]] = []
     for view in (1, 2, 3):
@@ -115,7 +116,7 @@ def measure_expected_latency(
         pool = TransactionPool()
         protocol = equivocating_scenario(
             n=n, f=f, num_views=num_views, delta=delta, seed=seed, pool=pool,
-            trace_mode=trace_mode,
+            trace_mode=trace_mode, registry=PREBUILD.registry(n, seed),
         )
         anchors: list[tuple[Transaction, int]] = []
         for view in range(1, num_views - 3):
@@ -204,7 +205,8 @@ def measure_tobsvd_message_scaling(
     points: list[tuple[int, float]] = []
     for n in ns:
         protocol = stable_scenario(
-            n=n, num_views=num_views, delta=delta, seed=seed, trace_mode="bounded"
+            n=n, num_views=num_views, delta=delta, seed=seed, trace_mode="bounded",
+            registry=PREBUILD.registry(n, seed),
         )
         result = protocol.run()
         blocks = max(1, result.analysis.new_blocks)
@@ -249,11 +251,19 @@ def measure_structural_protocol(
     """
 
     structure = structure_for(name)
+    # Both runs share the (n, seed) universe: one prebuilt keyset and one
+    # delay policy serve them (and every later measurement at these
+    # parameters) instead of being rebuilt per run.
+    registry = PREBUILD.registry(n, seed)
+    delay_policy = PREBUILD.delay_policy(delta)
 
     # Stable run: best case.
     pool = TransactionPool()
     config = StructuralConfig(n=n, num_views=num_views_stable, delta=delta, seed=seed)
-    protocol = StructuralTob(structure, config, pool=pool, trace_mode=trace_mode)
+    protocol = StructuralTob(
+        structure, config, delay_policy=delay_policy, pool=pool,
+        trace_mode=trace_mode, registry=registry,
+    )
     view_ticks = structure.view_length_deltas * delta
     anchors = []
     for view in range(1, num_views_stable - 1):
@@ -272,9 +282,10 @@ def measure_structural_protocol(
     # Adversarial run: expected case.
     pool = TransactionPool()
     config = StructuralConfig(n=n, num_views=num_views_adversarial, delta=delta, seed=seed)
-    corruption = CorruptionPlan.static(frozenset(range(n - f, n)))
     protocol = StructuralTob(
-        structure, config, corruption=corruption, pool=pool, trace_mode=trace_mode
+        structure, config, corruption=PREBUILD.corruption(n, f),
+        delay_policy=delay_policy, pool=pool, trace_mode=trace_mode,
+        registry=registry,
     )
     anchors = []
     for view in range(1, num_views_adversarial - 2):
@@ -401,7 +412,10 @@ def measure_structural_message_scaling(
     points: list[tuple[int, float]] = []
     for n in ns:
         config = StructuralConfig(n=n, num_views=num_views, delta=delta, seed=seed)
-        protocol = StructuralTob(structure, config, trace_mode="bounded")
+        protocol = StructuralTob(
+            structure, config, delay_policy=PREBUILD.delay_policy(delta),
+            trace_mode="bounded", registry=PREBUILD.registry(n, seed),
+        )
         result = protocol.run()
         blocks = max(1, result.analysis.new_blocks)
         points.append((n, result.network.stats.weighted_deliveries / blocks))

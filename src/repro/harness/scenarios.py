@@ -25,6 +25,7 @@ import random
 
 from repro.adversary.tob_attackers import make_tob_attacker_factory
 from repro.chain.transactions import TransactionPool
+from repro.crypto.signatures import KeyRegistry
 from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol, TobSvdResult
 from repro.sleepy.compliance import check_compliance
 from repro.sleepy.corruption import CorruptionPlan
@@ -39,11 +40,12 @@ def stable_scenario(
     seed: int = 0,
     pool: TransactionPool | None = None,
     trace_mode: str = "full",
+    registry: KeyRegistry | None = None,
 ) -> TobSvdProtocol:
     """Everyone honest and always awake."""
 
     config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
-    return TobSvdProtocol(config, pool=pool, trace_mode=trace_mode)
+    return TobSvdProtocol(config, pool=pool, trace_mode=trace_mode, registry=registry)
 
 
 def equivocating_scenario(
@@ -55,6 +57,7 @@ def equivocating_scenario(
     attacker: str = "equivocating-proposer",
     pool: TransactionPool | None = None,
     trace_mode: str = "full",
+    registry: KeyRegistry | None = None,
 ) -> TobSvdProtocol:
     """``f`` Byzantine validators running the chosen attack.
 
@@ -75,6 +78,7 @@ def equivocating_scenario(
         byzantine_factory=make_tob_attacker_factory(attacker),
         pool=pool,
         trace_mode=trace_mode,
+        registry=registry,
     )
 
 

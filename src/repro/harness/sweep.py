@@ -27,9 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import os
-import random
 from dataclasses import dataclass, field
 from statistics import mean
 from typing import Callable
@@ -40,13 +38,7 @@ from repro.baselines.structure import PROTOCOL_STRUCTURES, structure_for
 from repro.chain.transactions import TransactionPool
 from repro.core.tobsvd import PROTOCOL_NAME as TOBSVD_NAME
 from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol
-from repro.harness.scenarios import (
-    bursty_schedule,
-    check_schedule_compliance,
-    late_join_schedule,
-)
-from repro.sleepy.corruption import CorruptionPlan
-from repro.sleepy.schedule import AwakeSchedule
+from repro.harness.prebuild import PREBUILD
 
 PARTICIPATIONS = ("stable", "churn", "late-join", "bursty")
 ATTACKERS = ("equivocating-proposer", "silent", "double-voter")
@@ -266,55 +258,6 @@ class Cell:
 # ---------------------------------------------------------------------------
 
 
-def _tobsvd_schedule(cell: Cell, config: TobSvdConfig) -> AwakeSchedule | None:
-    """The participation schedule for a TOB-SVD cell.
-
-    Sleepers are always drawn from the *honest* ids (``0 .. n-f-1``) —
-    Byzantine validators remain always awake per the model — and the
-    sleeper count is capped at ``n - 2f - 1`` so an all-asleep burst
-    cannot hand the adversary an active majority.
-    """
-
-    if cell.participation == "stable":
-        return None
-    honest = cell.n - cell.f
-    max_sleepers = max(0, min(honest - 1, cell.n - 2 * cell.f - 1))
-    count = min(max_sleepers, max(1, honest // 4))
-    if count <= 0:
-        # Refuse rather than silently run stable participation: a record
-        # labelled churn/late-join/bursty must never carry stable-world
-        # metrics.  The cell becomes an "error" record instead.
-        raise ValueError(
-            f"participation {cell.participation!r} infeasible at n={cell.n} "
-            f"f={cell.f}: no honest validator can sleep without handing the "
-            "adversary an active majority"
-        )
-    sleepers = tuple(range(honest - count, honest))
-    view_ticks = config.time.view_ticks
-    if cell.participation == "late-join":
-        join_time = max(0, config.time.view_start(2) - 2 * cell.delta)
-        return late_join_schedule(cell.n, sleepers, join_time)
-    if cell.participation == "bursty":
-        return bursty_schedule(
-            cell.n,
-            sleepers,
-            horizon=config.horizon,
-            first_nap=2 * view_ticks,
-            nap_ticks=2 * view_ticks,
-            awake_ticks=3 * view_ticks,
-        )
-    # "churn": randomized staggered naps, seeded from the cell.
-    rng = random.Random(cell.run_seed ^ 0x5EED)
-    return AwakeSchedule.random_churn(
-        n=cell.n,
-        horizon=config.horizon,
-        rng=rng,
-        churners=sleepers,
-        min_awake=2 * view_ticks,
-        min_asleep=7 * cell.delta,
-    )
-
-
 def _anchored_submissions(
     pool: TransactionPool, cell: Cell, view_ticks: int
 ) -> list:
@@ -365,26 +308,28 @@ def run_cell(cell: Cell, trace_mode: str = "bounded") -> dict:
     }
 
 
-def _execute(cell: Cell, trace_mode: str = "bounded") -> dict:
-    """The measured body of :func:`run_cell` (raises on any failure)."""
+def prepare_cell(cell: Cell, trace_mode: str = "bounded"):
+    """Build a cell's ready-to-run protocol and its submitted traffic.
+
+    This is the *setup* half of a cell — config, schedule, compliance
+    proof, corruption plan, keyset, delay policy, transaction anchors,
+    protocol object — split out from the simulation so the benchmark
+    suite can measure setup overhead on its own.  Immutable scaffolding
+    (keysets, delay policies, corruption plans, compliance-checked
+    schedules) comes from the per-process prebuild cache
+    (:mod:`repro.harness.prebuild`); run-scoped mutable state (the
+    transaction pool, the protocol/network/simulator) is always built
+    fresh, keeping serial and parallel execution byte-identical.
+
+    Returns ``(protocol, txs)``; raises on any invalid combination.
+    """
 
     if cell.protocol == TOBSVD_NAME:
         config = TobSvdConfig(
             n=cell.n, num_views=cell.num_views, delta=cell.delta, seed=cell.run_seed
         )
-        schedule = _tobsvd_schedule(cell, config)
-        corruption = (
-            CorruptionPlan.static(frozenset(range(cell.n - cell.f, cell.n)))
-            if cell.f
-            else None
-        )
-        if schedule is not None:
-            check_schedule_compliance(
-                config,
-                schedule,
-                corruption or CorruptionPlan.none(),
-                cell.participation,
-            )
+        schedule = PREBUILD.tobsvd_schedule(cell, config)
+        corruption = PREBUILD.corruption(cell.n, cell.f)
         pool = TransactionPool()
         txs = _anchored_submissions(pool, cell, config.time.view_ticks)
         protocol = TobSvdProtocol(
@@ -394,11 +339,11 @@ def _execute(cell: Cell, trace_mode: str = "bounded") -> dict:
             byzantine_factory=(
                 make_tob_attacker_factory(cell.attacker) if cell.f else None
             ),
+            delay_policy=PREBUILD.delay_policy(cell.delta),
             pool=pool,
             trace_mode=trace_mode,
+            registry=PREBUILD.registry(cell.n, cell.run_seed),
         )
-        result = protocol.run()
-        deliveries = result.network.stats.weighted_deliveries
     else:
         structure = structure_for(cell.protocol)
         config = StructuralConfig(
@@ -407,15 +352,24 @@ def _execute(cell: Cell, trace_mode: str = "bounded") -> dict:
         pool = TransactionPool()
         view_ticks = structure.view_length_deltas * cell.delta
         txs = _anchored_submissions(pool, cell, view_ticks)
-        corruption = (
-            CorruptionPlan.static(frozenset(range(cell.n - cell.f, cell.n)))
-            if cell.f
-            else None
+        protocol = StructuralTob(
+            structure,
+            config,
+            corruption=PREBUILD.corruption(cell.n, cell.f),
+            delay_policy=PREBUILD.delay_policy(cell.delta),
+            pool=pool,
+            trace_mode=trace_mode,
+            registry=PREBUILD.registry(cell.n, cell.run_seed),
         )
-        result = StructuralTob(
-            structure, config, corruption=corruption, pool=pool, trace_mode=trace_mode
-        ).run()
-        deliveries = result.network.stats.weighted_deliveries
+    return protocol, txs
+
+
+def _execute(cell: Cell, trace_mode: str = "bounded") -> dict:
+    """The measured body of :func:`run_cell` (raises on any failure)."""
+
+    protocol, txs = prepare_cell(cell, trace_mode)
+    result = protocol.run()
+    deliveries = result.network.stats.weighted_deliveries
 
     analysis = result.analysis
     blocks = analysis.new_blocks
@@ -514,12 +468,25 @@ class ResultStore:
     def append(self, record: dict) -> None:
         """Write one record and flush — a crash never loses earlier cells."""
 
+        self.append_line(canonical_record(record))
+
+    def append_line(self, line: str) -> None:
+        """Append one pre-canonicalized JSONL line verbatim.
+
+        The chunked-dispatch fast path: sweep workers serialize records
+        with :func:`canonical_record` before shipping them back, so the
+        parent appends raw bytes instead of re-serializing.  The caller
+        guarantees ``line`` is one canonical record with no trailing
+        newline.  Durability matches :meth:`append`: flushed and fsynced
+        per line, so a kill loses at most the line being written.
+        """
+
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
         self._ensure_trailing_newline()
         with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(canonical_record(record) + "\n")
+            fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
 
@@ -545,28 +512,31 @@ class SweepOutcome:
         return sorted(self.records, key=lambda r: r["cell_id"])
 
 
-def _run_cell_from_dict(payload: tuple[dict, str]) -> dict:
-    """Pool-friendly wrapper: workers receive plain dicts, not dataclasses."""
-
-    cell_data, trace_mode = payload
-    return run_cell(Cell.from_dict(cell_data), trace_mode)
-
-
 def run_sweep(
     spec: ExperimentSpec,
     store: ResultStore | None = None,
     workers: int = 1,
     progress: Callable[[dict], None] | None = None,
     trace_mode: str = "bounded",
+    executor: "SweepExecutor | None" = None,
+    chunksize: int = 0,
 ) -> SweepOutcome:
     """Expand ``spec`` and execute every not-yet-recorded cell.
 
-    ``workers > 1`` runs cells on a ``multiprocessing`` pool; results are
-    appended to ``store`` as they complete (completion order may differ
-    between runs, which is why consumers read :meth:`SweepOutcome.
-    sorted_records`).  Serial and parallel execution produce the same
-    record *set*, byte-for-byte, because cells share no mutable state and
-    derive all randomness from their own coordinates.
+    Parallel execution goes through a :class:`repro.harness.executor.
+    SweepExecutor`: pass one in (``executor=``) to reuse a warm worker
+    pool across sweeps, or set ``workers > 1`` to run on a throwaway
+    executor for just this call.  Results are appended to ``store`` as
+    they complete (completion order may differ between runs, which is
+    why consumers read :meth:`SweepOutcome.sorted_records`).  Serial and
+    parallel execution produce the same record *set*, byte-for-byte,
+    because cells share no mutable state, derive all randomness from
+    their own coordinates, and every record is serialized exactly once
+    by :func:`canonical_record` — in the worker for parallel runs, whose
+    raw line the parent appends verbatim.
+
+    ``chunksize`` controls dispatch batching for a throwaway executor
+    (``0`` = adaptive); a caller-provided executor uses its own setting.
 
     ``progress`` (if given) is called with each fresh record — the CLI
     uses it for per-cell console lines.
@@ -584,21 +554,26 @@ def run_sweep(
 
     fresh: list[dict] = []
 
-    def consume(record: dict) -> None:
+    def consume_line(line: str) -> None:
+        record = json.loads(line)
         if store is not None:
-            store.append(record)
+            store.append_line(line)
         fresh.append(record)
         if progress is not None:
             progress(record)
 
-    if workers <= 1 or len(todo) <= 1:
+    if executor is not None and todo:
+        for line in executor.map_cells(todo, trace_mode):
+            consume_line(line)
+    elif workers <= 1 or len(todo) <= 1:
         for cell in todo:
-            consume(run_cell(cell, trace_mode))
+            consume_line(canonical_record(run_cell(cell, trace_mode)))
     else:
-        payloads = [(cell.to_dict(), trace_mode) for cell in todo]
-        with multiprocessing.Pool(processes=workers) as pool:
-            for record in pool.imap_unordered(_run_cell_from_dict, payloads, chunksize=1):
-                consume(record)
+        from repro.harness.executor import SweepExecutor
+
+        with SweepExecutor(workers=workers, chunksize=chunksize) as throwaway:
+            for line in throwaway.map_cells(todo, trace_mode):
+                consume_line(line)
 
     records = {r["cell_id"]: r for r in (store.load() if store is not None else fresh)}
     wanted = {cell.cell_id for cell in cells}

@@ -9,15 +9,22 @@ priority class and a monotonically increasing sequence number.
 Scheduling is a **calendar/bucket queue**, not a heap: all event times
 are integer ticks with a bounded horizon (a run of ``V`` views spans
 ``O(V·Δ)`` ticks while dispatching millions of events), so the queue
-keeps one bucket per tick holding one append-only list per priority
-class.  ``schedule`` is an O(1) append; dispatch scans the tick cursor
-forward (amortised O(horizon) over a whole run, trivially dominated by
-the event count).  Within a bucket, append order *is* ``seq`` order —
-``seq`` increases monotonically — and the dispatch loop restarts from
-the most urgent priority class after every callback, which reproduces
-exactly the ``(time, priority, seq)`` total order a heap would yield
-(see ``tests/property/test_scheduler_equivalence.py``, which checks the
-bucket queue against :class:`HeapSimulator` event-for-event).
+keys events by tick.  A tick's slot holds its first event *directly*
+(lazy buckets: no allocation for the common single-event tick) and
+grows a real bucket — one append-only list per priority class — only
+when a second event lands on the same tick.  ``schedule`` is an O(1)
+dict insert/append; dispatch follows a **next-nonempty-bucket skip
+pointer** — a min-heap of pending ticks, pushed once per slot creation
+and popped once per slot drain — so run cost is
+O(ticks·log ticks + events), independent of how sparse the horizon is
+(a lone event a million ticks out costs one heap pop, not a
+million-tick cursor scan).  Within a bucket, append order *is* ``seq``
+order — ``seq`` increases monotonically — and the dispatch loop
+restarts from the most urgent priority class after every callback,
+which reproduces exactly the ``(time, priority, seq)`` total order a
+heap would yield (see ``tests/property/test_scheduler_equivalence.py``,
+which checks the bucket queue against :class:`HeapSimulator`
+event-for-event, dense and sparse).
 
 The :class:`ScheduledEvent` handle is a ``__slots__`` object rather than
 an ``order=True`` dataclass, which keeps per-event allocation small on
@@ -79,12 +86,18 @@ class Simulator:
     """Deterministic discrete-event scheduler with integer time."""
 
     def __init__(self, seed: int = 0) -> None:
-        # tick -> one list per priority class; entries are ScheduledEvent
-        # handles or bare callables (schedule_callback), appended in seq
-        # order (seq is monotone), so list order is dispatch order.
-        self._buckets: dict[int, list[list]] = {}
+        # tick -> slot.  A slot is either the tick's single pending entry
+        # (a ScheduledEvent handle, or a (priority, callback) pair from
+        # schedule_callback) or, once a second event lands on the tick, a
+        # full bucket: one list per priority class, appended in seq order
+        # (seq is monotone), so list order is dispatch order.
+        self._buckets: dict[int, object] = {}
         self._bucket_pool: list[list[list]] = []  # drained buckets, reused
-        self._max_time = 0  # largest tick with a (possibly drained) bucket
+        # Min-heap of pending ticks: one entry per live slot, pushed on
+        # creation, popped when that tick is drained.  The run loop jumps
+        # straight to the next nonempty tick instead of scanning every
+        # tick, so sparse horizons cost O(log ticks).
+        self._tick_heap: list[int] = []
         self._seq = 0
         self._now = 0
         self._running = False
@@ -118,20 +131,34 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         event = ScheduledEvent(time, int(priority), seq, callback, note, self)
-        self._bucket_at(time)[event.priority].append(event)
+        slot = self._buckets.get(time)
+        if slot is None:
+            self._buckets[time] = event
+            heapq.heappush(self._tick_heap, time)
+        else:
+            if slot.__class__ is not list:
+                slot = self._promote(slot, time)
+            slot[event.priority].append(event)
         self._live += 1
         return event
 
-    def _bucket_at(self, time: int) -> list[list]:
-        """The bucket for ``time``, created (from the pool) on first use."""
+    def _promote(self, entry, time: int) -> list[list]:
+        """Replace a single-entry slot with a full bucket holding it.
 
-        bucket = self._buckets.get(time)
-        if bucket is None:
-            pool = self._bucket_pool
-            bucket = pool.pop() if pool else [[], [], [], []]
-            self._buckets[time] = bucket
-            if time > self._max_time:
-                self._max_time = time
+        Buckets are created lazily: a tick's dict slot holds its first
+        event directly (no bucket allocation, no per-tick list churn) and
+        only grows a real bucket when a second event lands on the same
+        tick.  The first entry keeps its dispatch position because it is
+        appended to its priority list before the newcomer.
+        """
+
+        pool = self._bucket_pool
+        bucket = pool.pop() if pool else [[], [], [], []]
+        if entry.__class__ is ScheduledEvent:
+            bucket[entry.priority].append(entry)
+        else:  # (priority, callback) pair from schedule_callback
+            bucket[entry[0]].append(entry[1])
+        self._buckets[time] = bucket
         return bucket
 
     def schedule_in(
@@ -162,7 +189,15 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        self._bucket_at(time)[int(priority)].append(callback)
+        prio = int(priority)
+        slot = self._buckets.get(time)
+        if slot is None:
+            self._buckets[time] = (prio, callback)
+            heapq.heappush(self._tick_heap, time)
+        else:
+            if slot.__class__ is not list:
+                slot = self._promote(slot, time)
+            slot[prio].append(callback)
         self._live += 1
 
     @staticmethod
@@ -244,48 +279,68 @@ class Simulator:
         are processed in the same call.
         """
 
-        if self._running:
-            raise RuntimeError("simulator is not re-entrant")
-        self._running = True
-        buckets = self._buckets
-        tick = self._now
-        try:
-            while tick <= end_time:
-                bucket = buckets.get(tick)
-                if bucket is None:
-                    if tick >= self._max_time:
-                        break  # no bucket left at any later tick
-                    tick += 1
-                    continue
-                self._now = tick
-                self._drain_bucket(bucket)
-                del buckets[tick]
-                self._recycle(bucket)
-                tick += 1
-            self._now = max(self._now, end_time)
-        finally:
-            self._running = False
+        self._run(end_time, None)
+        self._now = max(self._now, end_time)
 
     def run_to_exhaustion(self, safety_limit: int = 10_000_000) -> None:
         """Process every pending event (bounded by ``safety_limit`` events)."""
 
+        self._run(None, safety_limit)
+
+    def _run(self, end_time: int | None, safety_limit: int | None) -> None:
+        """The shared dispatch loop behind both run entry points.
+
+        Each pending tick has exactly one heap entry (pushed when its
+        slot is created); callbacks running at tick ``t`` can only
+        create slots at ``t' > t`` or re-create ``t`` itself after its
+        slot was consumed (which re-pushes the tick), so popped ticks
+        arrive in nondecreasing order and the ``(time, priority, seq)``
+        total order of a heap is reproduced exactly.  Single-entry slots
+        — the common shape on sparse ticks — dispatch inline without any
+        bucket machinery.
+        """
+
         if self._running:
             raise RuntimeError("simulator is not re-entrant")
         self._running = True
         buckets = self._buckets
-        tick = self._now
+        heap = self._tick_heap
+        heappop = heapq.heappop
         remaining = safety_limit
         try:
-            while tick <= self._max_time:
-                bucket = buckets.get(tick)
-                if bucket is None:
-                    tick += 1
-                    continue
+            while heap:
+                if end_time is not None and heap[0] > end_time:
+                    break
+                tick = heappop(heap)
                 self._now = tick
-                remaining -= self._drain_bucket(bucket, limit=remaining)
+                slot = buckets[tick]
+                if slot.__class__ is list:
+                    executed = self._drain_bucket(slot, remaining)
+                    if remaining is not None:
+                        remaining -= executed
+                    del buckets[tick]
+                    self._recycle(slot)
+                    continue
+                # Single-entry slot: dispatch inline.  Deleting the slot
+                # *before* the callback lets a same-tick spawn create a
+                # fresh slot (and re-push the tick), which the loop then
+                # processes next — exactly heap order, since nothing
+                # else was pending at this tick.
                 del buckets[tick]
-                self._recycle(bucket)
-                tick += 1
+                if slot.__class__ is ScheduledEvent:
+                    if slot.cancelled:
+                        continue
+                    slot._sim = None
+                    callback = slot.callback
+                else:  # (priority, callback) pair from schedule_callback
+                    callback = slot[1]
+                self._live -= 1
+                self._events_processed += 1
+                callback()
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining < 0:
+                        raise RuntimeError("event-loop safety limit exceeded")
         finally:
             self._running = False
 

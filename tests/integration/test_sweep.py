@@ -84,6 +84,51 @@ class TestSweepDeterminism:
         assert outcome.skipped == outcome.total_cells
 
 
+class TestWarmExecutor:
+    """One warm pool serving several sweeps: the persistent fast path."""
+
+    @pytest.fixture(scope="class")
+    def executor(self):
+        from repro.harness.executor import SweepExecutor
+
+        with SweepExecutor(workers=2) as executor:
+            executor.warmup()
+            yield executor
+
+    def test_reused_executor_matches_serial_byte_for_byte(
+        self, serial_records, executor, tmp_path
+    ):
+        for attempt in ("first", "second"):  # second sweep runs on a warm pool
+            store = ResultStore(str(tmp_path / f"{attempt}.jsonl"))
+            outcome = run_sweep(SPEC, store=store, executor=executor)
+            assert outcome.executed == outcome.total_cells
+            assert payload_lines(store.load()) == payload_lines(serial_records)
+
+    def test_resume_after_kill_with_warm_executor(
+        self, serial_records, executor, tmp_path
+    ):
+        path = tmp_path / "killed.jsonl"
+        keep = len(serial_records) // 3
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in serial_records[:keep]:
+                fh.write(canonical_record(record) + "\n")
+            fh.write('{"cell_id": "torn-mid-chu')  # killed mid-chunk
+        outcome = run_sweep(SPEC, store=ResultStore(str(path)), executor=executor)
+        assert outcome.skipped == keep
+        assert outcome.executed == outcome.total_cells - keep
+        assert payload_lines(outcome.sorted_records()) == payload_lines(serial_records)
+
+    def test_distinct_specs_share_one_pool(self, executor, tmp_path):
+        other = ExperimentSpec(
+            name="it-sweep-b", ns=(6,), seeds=2, num_views=6, txs_per_cell=2
+        )
+        store = ResultStore(str(tmp_path / "other.jsonl"))
+        outcome = run_sweep(other, store=store, executor=executor)
+        assert outcome.executed == outcome.total_cells == 2
+        serial = run_sweep(other)
+        assert payload_lines(store.load()) == payload_lines(serial.records)
+
+
 class TestNewScenarioFamilies:
     def test_late_join_scenario_runs_and_decides(self):
         result = late_join_scenario(n=8, num_views=6, delta=2, seed=0).run()
@@ -186,6 +231,27 @@ class TestCli:
         out = capsys.readouterr().out
         assert "tracing off" in out
         assert "decisions/sec" not in out
+
+    def test_sweep_cli_warm_and_chunksize_flags(self, tmp_path, capsys):
+        out = tmp_path / "warm.jsonl"
+        code = cli.main([
+            "sweep", "--name", "cli-warm", "--n", "6", "--seeds", "4",
+            "--views", "6", "--workers", "2", "--warm", "--chunksize", "2",
+            "--out", str(out), "--quiet",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "warmed 2 workers in" in printed
+        assert len(ResultStore(str(out)).load()) == 4
+        # Same spec serially: identical payloads regardless of warm/chunked.
+        serial = tmp_path / "serial.jsonl"
+        assert cli.main([
+            "sweep", "--name", "cli-warm", "--n", "6", "--seeds", "4",
+            "--views", "6", "--out", str(serial), "--quiet",
+        ]) == 0
+        assert payload_lines(ResultStore(str(out)).load()) == payload_lines(
+            ResultStore(str(serial)).load()
+        )
 
     def test_sweep_cli_records_identical_across_trace_modes(self, tmp_path):
         bodies = {}

@@ -1,0 +1,87 @@
+"""Sweep-throughput smoke: the warm-pool contract under CI.
+
+Slow-marked (it spins up real worker pools and times them).  Asserts the
+two properties the sweep engine promises:
+
+* **Byte identity** — the 32-cell benchmark grid produces the same
+  JSONL payload set serially, under a cold chunked pool, and under a
+  warm reused pool.
+* **A throughput floor** — a warm 2-worker executor clears a
+  deliberately conservative cells/sec bar (an order of magnitude below
+  what this engine measures on a 1-CPU container), so a reverted fast
+  path fails loudly while machine-to-machine noise does not.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness.executor import SweepExecutor
+from repro.harness.sweep import ResultStore, canonical_record, run_sweep
+
+pytestmark = pytest.mark.slow
+
+
+def _bench_grid32_spec():
+    """The exact grid the ``sweep.*`` benchmarks measure, from the driver.
+
+    Imported rather than copied so retuning the benchmark grid keeps
+    this smoke validating what ``BENCH_PR5.json`` reports.
+    """
+
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "run_benchmarks.py"
+    spec = importlib.util.spec_from_file_location("bench_driver_grid_source", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module._sweep_grid32_spec()
+
+
+GRID32 = _bench_grid32_spec()
+
+# Conservative: the warm 2-worker engine measures ~200+ cells/sec on a
+# single-CPU container; 20 still catches an order-of-magnitude loss.
+CELLS_PER_SEC_FLOOR = 20.0
+
+
+class TestSweepThroughputSmoke:
+    @pytest.fixture(scope="class")
+    def serial_lines(self):
+        outcome = run_sweep(GRID32)
+        assert outcome.executed == outcome.total_cells == 32
+        return sorted(canonical_record(record) for record in outcome.records)
+
+    def test_warm_pool_byte_identity_and_floor(self, serial_lines, tmp_path):
+        with SweepExecutor(workers=2) as executor:
+            executor.warmup()
+            # Priming pass: pays worker-cache warm-up, checked for identity.
+            primed = ResultStore(str(tmp_path / "primed.jsonl"))
+            run_sweep(GRID32, store=primed, executor=executor)
+            assert sorted(
+                canonical_record(record) for record in primed.load()
+            ) == serial_lines
+
+            # Timed warm pass (no store: pure execution throughput).
+            started = time.perf_counter()
+            outcome = run_sweep(GRID32, executor=executor)
+            elapsed = time.perf_counter() - started
+            assert outcome.executed == 32
+            assert sorted(
+                canonical_record(record) for record in outcome.records
+            ) == serial_lines
+
+        cells_per_sec = 32 / elapsed
+        assert cells_per_sec >= CELLS_PER_SEC_FLOOR, (
+            f"warm 2-worker sweep ran at {cells_per_sec:.1f} cells/sec, "
+            f"below the {CELLS_PER_SEC_FLOOR} floor"
+        )
+
+    def test_cold_chunked_pool_matches_too(self, serial_lines):
+        with SweepExecutor(workers=2, chunksize=1) as executor:
+            outcome = run_sweep(GRID32, executor=executor)
+        assert sorted(
+            canonical_record(record) for record in outcome.records
+        ) == serial_lines

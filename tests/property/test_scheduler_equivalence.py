@@ -83,6 +83,38 @@ def run_script(sim, entries, horizon=40):
     return trace
 
 
+@st.composite
+def sparse_schedules(draw):
+    """Like :func:`schedules`, but over a huge, mostly-empty horizon.
+
+    Times spread across a billion ticks (forcing the skip pointer to
+    jump, never scan) with spawn delays large enough to land in empty
+    regions and small enough (including 0) to hit the same tick — the
+    single-slot promotion and same-tick re-entry edges of the lazy
+    bucket representation.
+    """
+
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 1_000_000_000),  # time: sparse horizon
+                st.sampled_from(PRIORITIES),
+                st.lists(
+                    st.tuples(
+                        st.sampled_from([0, 1, 999_983]),  # spawn delay
+                        st.sampled_from(PRIORITIES),
+                        st.booleans(),
+                    ),
+                    max_size=3,
+                ),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return entries
+
+
 class TestSchedulerEquivalence:
     @settings(max_examples=200, deadline=None)
     @given(schedules())
@@ -90,6 +122,24 @@ class TestSchedulerEquivalence:
         bucket_trace = run_script(Simulator(seed=1), entries)
         heap_trace = run_script(HeapSimulator(seed=1), entries)
         assert bucket_trace == heap_trace
+
+    @settings(max_examples=150, deadline=None)
+    @given(sparse_schedules())
+    def test_bucket_matches_heap_on_sparse_horizons(self, entries):
+        horizon = 2_000_000_000
+        bucket_trace = run_script(Simulator(seed=1), entries, horizon=horizon)
+        heap_trace = run_script(HeapSimulator(seed=1), entries, horizon=horizon)
+        assert bucket_trace == heap_trace
+
+    @settings(max_examples=75, deadline=None)
+    @given(sparse_schedules())
+    def test_counters_agree_on_sparse_horizons(self, entries):
+        bucket, heap = Simulator(seed=1), HeapSimulator(seed=1)
+        run_script(bucket, entries, horizon=2_000_000_000)
+        run_script(heap, entries, horizon=2_000_000_000)
+        assert bucket.events_processed == heap.events_processed
+        assert bucket.pending_count() == heap.pending_count()
+        assert bucket.now == heap.now
 
     @settings(max_examples=100, deadline=None)
     @given(schedules())

@@ -1,0 +1,104 @@
+"""Unit tests for the benchmark regression gate's tolerance machinery.
+
+The driver lives outside the package (``benchmarks/run_benchmarks.py``),
+so it is loaded the same way the CLI's ``bench`` subcommand loads it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+
+def load_driver():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "run_benchmarks.py"
+    spec = importlib.util.spec_from_file_location("bench_driver_under_test", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def driver():
+    return load_driver()
+
+
+class TestParseTolerances:
+    def test_defaults_when_no_flags(self, driver):
+        assert driver.parse_tolerances(None) == (0.5, [])
+        assert driver.parse_tolerances([]) == (0.5, [])
+
+    def test_bare_fraction_sets_default_last_wins(self, driver):
+        default, overrides = driver.parse_tolerances(["0.3", "0.8"])
+        assert default == 0.8
+        assert overrides == []
+
+    def test_key_value_entries_become_overrides_in_order(self, driver):
+        default, overrides = driver.parse_tolerances(
+            ["0.5", "sweep.*=0.9", "sim.event_dispatch_1000=0.7"]
+        )
+        assert default == 0.5
+        assert overrides == [("sweep.*", 0.9), ("sim.event_dispatch_1000", 0.7)]
+
+    def test_malformed_entries_rejected(self, driver):
+        with pytest.raises(ValueError):
+            driver.parse_tolerances(["1.5"])
+        with pytest.raises(ValueError):
+            driver.parse_tolerances(["sweep.*=1.5"])
+        with pytest.raises(ValueError):
+            driver.parse_tolerances(["=0.5"])
+        with pytest.raises(ValueError):
+            driver.parse_tolerances(["abc"])
+
+
+class TestToleranceFor:
+    def test_exact_name_beats_default(self, driver):
+        assert driver.tolerance_for("a.b", 0.5, [("a.b", 0.9)]) == 0.9
+        assert driver.tolerance_for("a.c", 0.5, [("a.b", 0.9)]) == 0.5
+
+    def test_glob_patterns_match(self, driver):
+        overrides = [("sweep.*", 0.9)]
+        assert driver.tolerance_for("sweep.cells_per_sec_grid32", 0.5, overrides) == 0.9
+        assert driver.tolerance_for("e2e.full_view_n8", 0.5, overrides) == 0.5
+
+    def test_first_match_wins(self, driver):
+        overrides = [("sweep.cell_setup*", 0.7), ("sweep.*", 0.9)]
+        assert driver.tolerance_for("sweep.cell_setup_overhead", 0.5, overrides) == 0.7
+        assert driver.tolerance_for("sweep.cells_per_sec_grid32", 0.5, overrides) == 0.9
+
+
+class TestRegressionGate:
+    GATE = {"results": {"fast.op": 100.0, "noisy.op": 100.0, "absent.op": 100.0}}
+
+    def test_global_tolerance_applies_everywhere(self, driver):
+        failures = driver._check_regressions(
+            {"fast.op": 49.0, "noisy.op": 51.0}, self.GATE, 0.5
+        )
+        assert len(failures) == 1
+        assert failures[0].startswith("fast.op:")
+
+    def test_override_loosens_one_benchmark_only(self, driver):
+        current = {"fast.op": 49.0, "noisy.op": 15.0}
+        # Globally both would fail; the override saves only noisy.op.
+        failures = driver._check_regressions(
+            current, self.GATE, 0.5, [("noisy.*", 0.9)]
+        )
+        assert [f.split(":")[0] for f in failures] == ["fast.op"]
+        assert not driver._check_regressions(
+            current, self.GATE, 0.6, [("noisy.*", 0.9)]
+        )
+
+    def test_ops_missing_from_baseline_are_ignored(self, driver):
+        assert not driver._check_regressions({"new.op": 1.0}, self.GATE, 0.5)
+
+    def test_failure_message_reports_applied_tolerance(self, driver):
+        (failure,) = driver._check_regressions(
+            {"noisy.op": 5.0}, self.GATE, 0.5, [("noisy.*", 0.8)]
+        )
+        assert "tolerance 80%" in failure
+
+    def test_cli_rejects_bad_tolerance_flags(self, driver):
+        assert driver.main(["--tolerance", "sweep=2.0"]) == 2
+        assert driver.main(["--tolerance", "nonsense"]) == 2

@@ -1,0 +1,127 @@
+"""Unit tests for the prebuild caches — and for their safety envelope.
+
+The cache contract: everything handed out must behave exactly like a
+freshly-built artefact, so cell records are byte-identical with the
+cache hot, cold, or disabled.  These tests check both the caching
+mechanics (keys, sharing, bounds) and that record-level invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tobsvd import TobSvdConfig
+from repro.harness.prebuild import PREBUILD, PrebuildCache
+from repro.harness.sweep import Cell, canonical_record, run_cell
+
+
+def make_cell(**overrides) -> Cell:
+    kwargs = dict(
+        spec_name="pb", protocol="tobsvd", n=8, f=0, delta=2,
+        attacker="none", participation="late-join", seed_index=0,
+        num_views=6, txs_per_cell=2,
+    )
+    kwargs.update(overrides)
+    return Cell(**kwargs)
+
+
+def config_for(cell: Cell) -> TobSvdConfig:
+    return TobSvdConfig(
+        n=cell.n, num_views=cell.num_views, delta=cell.delta, seed=cell.run_seed
+    )
+
+
+class TestCacheMechanics:
+    def test_registry_cached_per_n_seed(self):
+        cache = PrebuildCache()
+        assert cache.registry(8, 1) is cache.registry(8, 1)
+        assert cache.registry(8, 1) is not cache.registry(8, 2)
+        assert cache.registry(6, 1) is not cache.registry(8, 1)
+
+    def test_delay_policy_shared_per_delta(self):
+        cache = PrebuildCache()
+        assert cache.delay_policy(2) is cache.delay_policy(2)
+        assert cache.delay_policy(2).fixed_delay == 2
+        assert cache.delay_policy(4) is not cache.delay_policy(2)
+
+    def test_corruption_plan_cached_and_none_for_honest(self):
+        cache = PrebuildCache()
+        assert cache.corruption(8, 0) is None
+        plan = cache.corruption(8, 2)
+        assert plan is cache.corruption(8, 2)
+        assert plan.initial_byzantine == frozenset({6, 7})
+
+    def test_deterministic_schedules_shared_across_seeds(self):
+        # late-join/bursty schedules depend only on the grid fragment, so
+        # seed 0 and seed 1 of the same grid point share one object.
+        cache = PrebuildCache()
+        a, b = make_cell(seed_index=0), make_cell(seed_index=1)
+        assert cache.tobsvd_schedule(a, config_for(a)) is cache.tobsvd_schedule(
+            b, config_for(b)
+        )
+
+    def test_churn_schedules_are_per_seed(self):
+        cache = PrebuildCache()
+        a = make_cell(participation="churn", seed_index=0)
+        b = make_cell(participation="churn", seed_index=1)
+        assert cache.tobsvd_schedule(a, config_for(a)) is not cache.tobsvd_schedule(
+            b, config_for(b)
+        )
+
+    def test_stable_cells_have_no_schedule(self):
+        cache = PrebuildCache()
+        cell = make_cell(participation="stable")
+        assert cache.tobsvd_schedule(cell, config_for(cell)) is None
+
+    def test_infeasible_participation_raises_every_time(self):
+        # Failures are never cached: the error record must be identical
+        # no matter how warm the cache is.
+        cache = PrebuildCache()
+        cell = make_cell(n=5, f=2, participation="churn")
+        for _ in range(2):
+            with pytest.raises(ValueError, match="infeasible"):
+                cache.tobsvd_schedule(cell, config_for(cell))
+        assert cache.stats()["schedules"] == 0
+
+    def test_fifo_bound_evicts_oldest(self):
+        cache = PrebuildCache(limit=2)
+        first = cache.delay_policy(1)
+        cache.delay_policy(2)
+        cache.delay_policy(3)  # evicts delta=1
+        assert cache.stats()["delay_policies"] == 2
+        assert cache.delay_policy(1) is not first  # rebuilt after eviction
+
+    def test_stats_and_clear(self):
+        cache = PrebuildCache()
+        cache.registry(8, 1)
+        cache.registry(8, 1)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        cache.clear()
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["registries"] == 0
+
+
+class TestRecordInvariance:
+    """Hot vs cold caches must not change a single record byte."""
+
+    @pytest.mark.parametrize(
+        "cell",
+        [
+            make_cell(participation="stable"),
+            make_cell(participation="late-join"),
+            make_cell(participation="bursty", num_views=8),
+            make_cell(participation="churn", n=12, num_views=8),
+            make_cell(n=8, f=2, attacker="equivocating-proposer",
+                      participation="stable"),
+            make_cell(protocol="mr", participation="stable"),
+        ],
+        ids=["stable", "late-join", "bursty", "churn", "adversarial", "structural"],
+    )
+    def test_cold_and_hot_cache_records_are_byte_identical(self, cell):
+        PREBUILD.clear()
+        cold = canonical_record(run_cell(cell))
+        hot = canonical_record(run_cell(cell))  # every fragment now cached
+        assert PREBUILD.hits > 0
+        assert cold == hot

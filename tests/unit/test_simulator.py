@@ -104,6 +104,71 @@ class TestScheduling:
         assert Simulator(seed=5).rng.random() == Simulator(seed=5).rng.random()
 
 
+class TestSparseHorizons:
+    """The lazy-slot / skip-pointer fast path (single events, huge gaps)."""
+
+    def test_far_future_event_runs_without_tick_scan(self):
+        # A horizon this size would take minutes under a per-tick cursor
+        # scan; the skip pointer makes it one heap pop.
+        sim = Simulator()
+        hits = []
+        sim.schedule(10**9, EventPriority.TIMER, lambda: hits.append(sim.now))
+        sim.run_to_exhaustion()
+        assert hits == [10**9]
+        assert sim.now == 10**9
+
+    def test_single_slot_promotes_to_bucket_in_seq_order(self):
+        # First entry arrives alone (slot), second forces promotion; the
+        # first must keep its dispatch position within its priority.
+        sim = Simulator()
+        order = []
+        sim.schedule(7, EventPriority.TIMER, lambda: order.append("a"))
+        sim.schedule(7, EventPriority.TIMER, lambda: order.append("b"))
+        sim.schedule(7, EventPriority.CONTROL, lambda: order.append("c"))
+        sim.run_until(7)
+        assert order == ["c", "a", "b"]
+
+    def test_bare_callback_slot_promotes_with_its_priority(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_callback(4, EventPriority.TIMER, lambda: order.append("timer"))
+        sim.schedule_callback(4, EventPriority.DELIVERY, lambda: order.append("delivery"))
+        sim.run_until(4)
+        assert order == ["delivery", "timer"]
+
+    def test_cancelled_single_slot_is_skipped(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.schedule(50, EventPriority.TIMER, lambda: hits.append(1))
+        sim.schedule(60, EventPriority.TIMER, lambda: hits.append(2))
+        Simulator.cancel(handle)
+        sim.run_to_exhaustion()
+        assert hits == [2]
+        assert sim.pending_count() == 0
+
+    def test_single_slot_spawning_same_tick_event_preserves_order(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule_callback(
+                sim.now, EventPriority.CONTROL, lambda: order.append("spawn")
+            )
+
+        sim.schedule(9, EventPriority.DELIVERY, first)
+        sim.run_until(9)
+        assert order == ["first", "spawn"]
+        assert sim.events_processed == 2
+
+    def test_sparse_exhaustion_respects_safety_limit(self):
+        sim = Simulator()
+        sim.schedule(10, EventPriority.TIMER, lambda: None)
+        sim.schedule(10**6, EventPriority.TIMER, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.run_to_exhaustion(safety_limit=1)
+
+
 class TestTimeConfig:
     def test_view_arithmetic(self):
         time = TimeConfig(delta=4, view_length_deltas=4)

@@ -149,6 +149,61 @@ class TestResultStore:
         assert store.load() == []
         assert store.completed_ids() == set()
 
+    def test_append_line_writes_raw_bytes_verbatim(self, tmp_path):
+        # The chunked path: workers serialize, the parent appends raw.
+        store = ResultStore(str(tmp_path / "raw.jsonl"))
+        line = canonical_record({"cell_id": "w0", "metrics": {"x": 1}})
+        store.append_line(line)
+        assert (tmp_path / "raw.jsonl").read_text(encoding="utf-8") == line + "\n"
+        assert store.load() == [{"cell_id": "w0", "metrics": {"x": 1}}]
+
+    def test_append_and_append_line_produce_identical_bytes(self, tmp_path):
+        record = {"cell_id": "same", "metrics": {"a": [1, 2]}}
+        via_record = ResultStore(str(tmp_path / "a.jsonl"))
+        via_record.append(record)
+        via_line = ResultStore(str(tmp_path / "b.jsonl"))
+        via_line.append_line(canonical_record(record))
+        assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
+
+    def test_interleaved_multi_worker_appends(self, tmp_path):
+        # Chunks complete out of order across workers; the parent appends
+        # lines in arrival order.  Whatever the interleaving, every record
+        # survives intact and the id set is complete.
+        store = ResultStore(str(tmp_path / "interleaved.jsonl"))
+        worker_chunks = {
+            "w0": [{"cell_id": f"w0-{i}", "metrics": {"i": i}} for i in range(4)],
+            "w1": [{"cell_id": f"w1-{i}", "metrics": {"i": i}} for i in range(4)],
+        }
+        # Arrival order: w1 chunk 0, w0 chunk 0, w1 chunk 1, w0 chunk 1.
+        arrival = (
+            worker_chunks["w1"][:2] + worker_chunks["w0"][:2]
+            + worker_chunks["w1"][2:] + worker_chunks["w0"][2:]
+        )
+        for record in arrival:
+            store.append_line(canonical_record(record))
+        assert store.load() == arrival
+        assert store.completed_ids() == {
+            f"{worker}-{i}" for worker in ("w0", "w1") for i in range(4)
+        }
+
+    def test_truncated_tail_mid_chunk_repaired_before_chunk_append(self, tmp_path):
+        # A sweep killed mid-chunk leaves N-1 whole lines plus a torn one;
+        # the next chunk's raw appends must not glue onto the torn line.
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            canonical_record({"cell_id": "done-0"}) + "\n"
+            + canonical_record({"cell_id": "done-1"}) + "\n"
+            + '{"cell_id": "torn-mid-chu',  # SIGKILL mid-write
+            encoding="utf-8",
+        )
+        store = ResultStore(str(path))
+        for i in range(3):  # the re-dispatched chunk arrives line by line
+            store.append_line(canonical_record({"cell_id": f"redo-{i}"}))
+        assert store.completed_ids() == {"done-0", "done-1", "redo-0", "redo-1", "redo-2"}
+        # The torn line is terminated junk, not merged into redo-0.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert lines[2] == '{"cell_id": "torn-mid-chu'
+
 
 class TestAggregation:
     def make_record(self, seed_index: int, latency: float, **coords) -> dict:
