@@ -417,6 +417,74 @@ def _timed(fn: Callable[[], object]) -> float:
     return time.perf_counter() - start
 
 
+FAULT_FAMILY_OPS = ("faults.overhead_off",)
+
+
+def _measure_fault_overhead(smoke: bool) -> tuple[dict[str, float], float]:
+    """Cost of an installed-but-empty fault layer on ``e2e.full_view_n8``.
+
+    Runs the same scenario with no fault plan and with a compiled
+    all-zero-rate :class:`repro.faults.FaultSpec` plan installed, in
+    back-to-back alternating pairs.  Returns the with-plan throughput
+    (as ``faults.overhead_off``, gated like any e2e op) plus the median
+    paired-ratio overhead percentage vs the plain run — the number
+    ``--assert-overhead`` checks.  The disabled layer is supposed to be
+    a single attribute check per broadcast, so the percentage should sit
+    in the noise floor.
+    """
+
+    from repro.core.tobsvd import TobSvdConfig
+    from repro.faults import FaultSpec
+    from repro.harness import stable_scenario
+    from repro.harness.scenarios import compile_checked_fault_plan
+    from repro.sleepy.corruption import CorruptionPlan
+
+    config = TobSvdConfig(n=8, num_views=2, delta=2, seed=0)
+    plan = compile_checked_fault_plan(
+        FaultSpec(), config, CorruptionPlan.none(), None, "bench-overhead"
+    )
+    assert not plan.has_message_faults and not plan.crash_windows
+
+    def run_plain() -> None:
+        stable_scenario(n=8, num_views=2, delta=2, seed=0).run()
+
+    def run_disabled() -> None:
+        stable_scenario(n=8, num_views=2, delta=2, seed=0, fault_plan=plan).run()
+
+    # Overhead = median of per-pair time ratios.  Each pair runs back to
+    # back (alternating order, so GC debt and cache effects cancel), and
+    # the median over many pairs is immune to both slow outliers and
+    # mid-measurement throughput drift — the failure modes of min-of-N
+    # on shared machines.
+    import gc
+
+    pairs = 30 if smoke else 200
+    run_plain(), run_disabled()  # warm caches outside the measurement
+    ratios: list[float] = []
+    best_disabled = float("inf")
+    gc.collect()
+    gc.disable()  # GC pauses dwarf a single-run delta at this granularity
+    try:
+        for i in range(pairs):
+            if i % 2:
+                t_disabled = _timed(run_disabled)
+                t_plain = _timed(run_plain)
+            else:
+                t_plain = _timed(run_plain)
+                t_disabled = _timed(run_disabled)
+            ratios.append(t_disabled / t_plain)
+            best_disabled = min(best_disabled, t_disabled)
+    finally:
+        gc.enable()
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    overhead_pct = (median_ratio - 1.0) * 100.0
+    return (
+        {"faults.overhead_off": round(1.0 / best_disabled, 2)},
+        round(overhead_pct, 2),
+    )
+
+
 def _cold_sweep_pass(spec, workers: int) -> None:
     """One pre-executor-style sweep: throwaway pool, chunksize=1."""
 
@@ -627,6 +695,15 @@ def main(argv: list[str] | None = None) -> int:
         "--only", default=None, help="substring filter on op names"
     )
     parser.add_argument(
+        "--assert-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if the disabled fault layer costs more than "
+        "PCT percent on e2e.full_view_n8 (the faults.overhead_off "
+        "measurement; forces it to run even under --only)",
+    )
+    parser.add_argument(
         "--profile",
         default=None,
         metavar="OP",
@@ -677,9 +754,14 @@ def main(argv: list[str] | None = None) -> int:
     sweep_family_wanted = args.only is None or any(
         args.only in name for name in SWEEP_FAMILY_OPS
     )
+    fault_family_wanted = (
+        args.only is None
+        or any(args.only in name for name in FAULT_FAMILY_OPS)
+        or args.assert_overhead is not None
+    )
     if args.only:
         ops = {name: fn for name, fn in ops.items() if args.only in name}
-        if not ops and not sweep_family_wanted:
+        if not ops and not sweep_family_wanted and not fault_family_wanted:
             print(f"error: --only {args.only!r} matches no ops", file=sys.stderr)
             return 2
 
@@ -706,6 +788,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:40s} {value:>14,.1f} {unit}", flush=True)
         results.update(sweep_results)
 
+    fault_overhead_pct: float | None = None
+    if fault_family_wanted:
+        fault_results, fault_overhead_pct = _measure_fault_overhead(args.smoke)
+        for name, value in fault_results.items():
+            print(f"{name:40s} {value:>14,.1f} ops/sec", flush=True)
+        print(f"{'faults.overhead_off_pct':40s} {fault_overhead_pct:>13,.2f}%",
+              flush=True)
+        results.update(fault_results)
+
     report: dict = {
         "meta": {
             "python": platform.python_version(),
@@ -714,6 +805,8 @@ def main(argv: list[str] | None = None) -> int:
         },
         "results": results,
     }
+    if fault_overhead_pct is not None:
+        report["faults"] = {"overhead_off_pct": fault_overhead_pct}
 
     if not args.only:
         memory = _measure_memory(args.smoke)
@@ -747,6 +840,19 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\nwrote {args.out}")
+
+    if args.assert_overhead is not None:
+        if fault_overhead_pct > args.assert_overhead:
+            print(
+                f"\nFAULT-LAYER OVERHEAD: {fault_overhead_pct:.2f}% > "
+                f"allowed {args.assert_overhead:.2f}% on e2e.full_view_n8",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"\nfault-layer overhead check passed: {fault_overhead_pct:.2f}% "
+            f"<= {args.assert_overhead:.2f}%"
+        )
 
     if gate is not None:
         failures = _check_regressions(results, gate, tolerance, tolerance_overrides)

@@ -64,6 +64,7 @@ class SweepRow:
     spec_name: str
     cells: int
     errors: int
+    failed: int
     safe_all: bool
     blocks_mean: float | None
     view_failure_rate_mean: float | None
@@ -82,8 +83,10 @@ def aggregate_sweep(records: list[dict]) -> list[SweepRow]:
     """Collapse sweep records over seeds into sorted :class:`SweepRow`\\ s.
 
     ``records`` are the JSONL dicts a :class:`repro.harness.sweep.
-    ResultStore` loads.  Error cells count toward ``errors`` but
-    contribute no metrics.  Rows come back sorted by grid coordinates, so
+    ResultStore` loads.  Error cells count toward ``errors`` and
+    quarantined cells (``status: "failed"`` — every harness attempt died)
+    toward ``failed``; neither contributes metrics.  Rows come back
+    sorted by grid coordinates, so
     the aggregation of a given record *set* is unique — the property the
     serial-vs-parallel byte-identity contract rests on.
     """
@@ -108,12 +111,14 @@ def aggregate_sweep(records: list[dict]) -> list[SweepRow]:
     for key in sorted(groups, key=order):
         batch = groups[key]
         ok = [r["metrics"] for r in batch if r.get("status") == "ok"]
+        failed = sum(1 for r in batch if r.get("status") == "failed")
         coords = dict(zip(SWEEP_GROUP_KEYS, key))
         rows.append(
             SweepRow(
                 **coords,
                 cells=len(batch),
-                errors=len(batch) - len(ok),
+                errors=len(batch) - len(ok) - failed,
+                failed=failed,
                 safe_all=all(m.get("safe", False) for m in ok) if ok else False,
                 blocks_mean=_mean_or_none([m["blocks"] for m in ok]),
                 view_failure_rate_mean=_mean_or_none(
@@ -142,7 +147,7 @@ def aggregate_sweep(records: list[dict]) -> list[SweepRow]:
 _SWEEP_COLUMNS = (
     "protocol", "n", "f", "delta", "attacker", "participation",
     "num_views", "txs_per_cell", "spec_name",
-    "cells", "errors", "safe_all", "blocks_mean", "view_failure_rate_mean",
+    "cells", "errors", "failed", "safe_all", "blocks_mean", "view_failure_rate_mean",
     "latency_mean_deltas", "latency_min_deltas", "latency_max_deltas",
     "phases_per_block_mean", "weighted_deliveries_mean",
 )

@@ -304,6 +304,22 @@ class StreamingAnalyzer:
     def safety(self) -> StreamingSafety:
         return StreamingSafety(safe=self._safe, conflict=self._conflict)
 
+    def fault_summary(self) -> dict[str, int]:
+        """Injected-fault control events seen so far, as fixed counters.
+
+        A stable four-key view over :attr:`control_counts` (crashes,
+        recoveries, partitions, heals) for fault-aware reporting — keys
+        are always present, zero when the run injected nothing.
+        """
+
+        counts = self.control_counts
+        return {
+            "crashes": counts.get("crash", 0),
+            "recoveries": counts.get("recover", 0),
+            "partitions": counts.get("partition", 0),
+            "heals": counts.get("heal", 0),
+        }
+
     def decision_times_by_view(self) -> dict[int, int]:
         return dict(self._decision_time_by_view)
 

@@ -94,10 +94,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
 
     executor = None
-    if args.workers > 1:
+    resilient = (
+        args.retries > 0 or args.cell_timeout is not None or args.chaos > 0
+    )
+    if args.workers > 1 or resilient:
+        from repro.faults import ChaosPlan
         from repro.harness.executor import SweepExecutor
 
-        executor = SweepExecutor(workers=args.workers, chunksize=args.chunksize)
+        chaos = (
+            ChaosPlan(kill_rate=args.chaos, seed=args.chaos_seed)
+            if args.chaos > 0
+            else None
+        )
+        executor = SweepExecutor(
+            workers=args.workers,
+            chunksize=args.chunksize,
+            retries=args.retries,
+            cell_timeout=args.cell_timeout,
+            chaos=chaos,
+        )
         if args.warm:
             import time as _time
 
@@ -120,10 +135,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     finally:
         if executor is not None:
             executor.close()
+    recovered = f", {outcome.recovered} corrupt lines quarantined" if outcome.recovered else ""
     print(
         f"sweep '{spec.name}': {outcome.total_cells} cells, "
-        f"{outcome.executed} executed, {outcome.skipped} resumed-skip"
+        f"{outcome.executed} executed, {outcome.skipped} resumed-skip{recovered}"
     )
+    if executor is not None and (
+        executor.retries_attempted
+        or executor.cells_quarantined
+        or executor.workers_respawned
+    ):
+        print(
+            f"  resilience: {executor.retries_attempted} retries, "
+            f"{executor.cells_quarantined} cells quarantined, "
+            f"{executor.workers_respawned} workers respawned"
+        )
     rows = aggregate_sweep(outcome.sorted_records())
     if args.csv:
         Path(args.csv).write_text(render_sweep_csv(rows), encoding="utf-8")
@@ -135,12 +161,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(render_sweep_markdown(rows), end="")
     errors = sum(row.errors for row in rows)
-    unsafe = [row for row in rows if row.cells > row.errors and not row.safe_all]
+    failed = sum(row.failed for row in rows)
+    unsafe = [
+        row for row in rows
+        if row.cells > row.errors + row.failed and not row.safe_all
+    ]
     if unsafe:
         print(f"UNSAFE rows: {len(unsafe)}", file=sys.stderr)
         return 1
     if errors:
         print(f"note: {errors} error cells (see {args.out})", file=sys.stderr)
+    if failed:
+        print(
+            f"note: {failed} quarantined cells — every attempt died; "
+            f"they re-run on resume (see {args.out})",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -149,21 +185,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _parse_fault_spec(text: str):
+    """``--faults`` value: inline JSON, or ``@path`` to a JSON file."""
+
+    from repro.faults import FaultSpec
+
+    if text.startswith("@"):
+        with open(text[1:], encoding="utf-8") as fh:
+            data = json.load(fh)
+    else:
+        data = json.loads(text)
+    return FaultSpec.from_dict(data)
+
+
 def _build_scenario(args: argparse.Namespace, pool, trace_mode: str = "full"):
     """Shared family dispatch for the ``run`` and ``scenario`` commands."""
 
     from repro.harness import scenarios
+
+    fault_spec = None
+    faults_arg = getattr(args, "faults", None)
+    if faults_arg:
+        if args.family not in ("stable", "crash", "partition"):
+            raise SystemExit(
+                f"error: --faults is not supported for the "
+                f"'{args.family}' family (use stable, crash, or partition)"
+            )
+        fault_spec = _parse_fault_spec(faults_arg)
 
     common = dict(
         n=args.n, num_views=args.views, delta=args.delta, seed=args.seed,
         pool=pool, trace_mode=trace_mode,
     )
     if args.family == "stable":
-        return scenarios.stable_scenario(**common)
+        fault_plan = None
+        if fault_spec is not None:
+            from repro.core.tobsvd import TobSvdConfig
+            from repro.sleepy.corruption import CorruptionPlan
+
+            config = TobSvdConfig(
+                n=args.n, num_views=args.views, delta=args.delta, seed=args.seed
+            )
+            fault_plan = scenarios.compile_checked_fault_plan(
+                fault_spec, config, CorruptionPlan.none(), None, "cli-run"
+            )
+        return scenarios.stable_scenario(fault_plan=fault_plan, **common)
     if args.family == "equivocating":
         return scenarios.equivocating_scenario(
             f=args.f, attacker=args.attacker, **common
         )
+    if args.family == "crash":
+        return scenarios.crash_recovery_scenario(fault_spec=fault_spec, **common)
+    if args.family == "partition":
+        return scenarios.partition_scenario(fault_spec=fault_spec, **common)
     if args.family == "churn":
         return scenarios.churn_scenario(**common)
     if args.family == "late-join":
@@ -260,6 +334,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  decisions:             {analysis.decision_count} "
           f"({analysis.decision_count / elapsed:,.0f}/sec)")
     print(f"  safety holds:          {analysis.safety().safe}")
+    faults = analysis.fault_summary()
+    if any(faults.values()):
+        print(f"  injected faults:       {faults['crashes']} crashes, "
+              f"{faults['recoveries']} recoveries, "
+              f"{faults['partitions']} partitions, {faults['heals']} heals")
     phases = analysis.voting_phases_per_block("tobsvd")
     print(f"  phases per block:      {phases}")
     print(f"  confirmed txs:         {latency.samples}/{len(txs)}")
@@ -414,6 +493,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trace", choices=("full", "bounded"), default="bounded",
                        help="per-cell event retention (bounded keeps O(state) "
                        "memory; metrics are identical either way)")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="re-attempts per cell after a worker death or "
+                       "timeout before the cell is quarantined as a "
+                       "status=failed record (deterministic backoff)")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       help="seconds per cell before its worker is killed "
+                       "and the cell retried (default: no timeout)")
+    sweep.add_argument("--chaos", type=float, default=0.0,
+                       help="chaos mode: probability a cell's first attempt "
+                       "SIGKILLs its worker (testing the self-healing path; "
+                       "combine with --retries >= 1)")
+    sweep.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for chaos kill decisions")
     sweep.set_defaults(func=_cmd_sweep)
 
     run = sub.add_parser(
@@ -421,7 +513,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute one scenario with live streaming-reducer stats",
     )
     run.add_argument("family",
-                     choices=("stable", "equivocating", "churn", "late-join", "bursty"))
+                     choices=("stable", "equivocating", "churn", "late-join",
+                              "bursty", "crash", "partition"))
     run.add_argument("--n", type=int, default=8)
     run.add_argument("--f", type=int, default=3,
                      help="Byzantine count (equivocating only)")
@@ -436,6 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
                      "only (default), or no observability at all")
     run.add_argument("--stats-every", type=int, default=0,
                      help="decisions between live stat lines (default 4n)")
+    run.add_argument("--faults", default=None, metavar="JSON|@FILE",
+                     help="FaultSpec as inline JSON or @path to a JSON file "
+                     "(stable, crash, and partition families); compiled "
+                     "deterministically from the spec and seed")
     run.set_defaults(func=_cmd_run)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
@@ -445,7 +542,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     scenario = sub.add_parser("scenario", help="run one scenario family")
     scenario.add_argument("family",
-                          choices=("stable", "equivocating", "churn", "late-join", "bursty"))
+                          choices=("stable", "equivocating", "churn", "late-join",
+                                   "bursty", "crash", "partition"))
     scenario.add_argument("--n", type=int, default=8)
     scenario.add_argument("--f", type=int, default=3,
                           help="Byzantine count (equivocating only)")

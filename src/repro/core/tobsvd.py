@@ -350,6 +350,7 @@ class TobSvdResult:
     corruption: CorruptionPlan
     analysis: StreamingAnalyzer | None = None
     observability: Observability | None = None
+    fault_plan: object | None = None
 
     @property
     def honest_ids(self) -> frozenset[int]:
@@ -388,8 +389,10 @@ class TobSvdProtocol:
         buffer_while_asleep: bool = True,
         trace_mode: str = "full",
         registry: KeyRegistry | None = None,
+        fault_plan=None,
     ) -> None:
         self.config = config
+        self.fault_plan = fault_plan
         self.simulator = Simulator(seed=config.seed)
         # A caller-provided registry must be the (n, seed) one this run
         # would build itself — the sweep prebuild cache hands back exactly
@@ -408,6 +411,7 @@ class TobSvdProtocol:
             self.registry,
             policy,
             buffer_while_asleep=buffer_while_asleep,
+            fault_plan=fault_plan,
         )
         self.observability = build_observability(trace_mode)
         self.trace = self.observability.trace
@@ -422,7 +426,8 @@ class TobSvdProtocol:
             registry=self.registry,
         )
         self._controller = SleepController(
-            self.simulator, self.network, self.schedule, self.corruption, self._bus
+            self.simulator, self.network, self.schedule, self.corruption, self._bus,
+            fault_plan=fault_plan,
         )
         self.validators: dict[int, TobSvdValidator] = {}
         self.byzantine_nodes: dict[int, object] = {}
@@ -471,4 +476,5 @@ class TobSvdProtocol:
             corruption=self.corruption,
             analysis=self.observability.analysis,
             observability=self.observability,
+            fault_plan=self.fault_plan,
         )

@@ -1,22 +1,22 @@
-"""The persistent sweep worker pool: warm workers, chunked dispatch.
+"""The persistent, self-healing sweep worker pool.
 
 ``run_sweep`` historically spun up a throwaway ``multiprocessing.Pool``
 per sweep and shipped cells one at a time (``chunksize=1``).  For grids
 of hundreds of small cells the orchestration — pool spin-up, worker
 imports, per-cell IPC round-trips, per-cell scaffolding rebuilds —
 rivals the simulation work itself.  :class:`SweepExecutor` makes grid
-execution the fast path:
+execution the fast path, and (since the fault-injection PR) survives a
+hostile world:
 
-* **Warm pool.**  One pool, created lazily on first dispatch (or
-  eagerly via :meth:`warmup`), reused across any number of sweeps.  The
-  worker initializer pre-imports the whole protocol stack so the first
-  real cell does not pay import latency inside the worker.
+* **Warm pool.**  One pool of supervised worker processes, created
+  lazily on first dispatch (or eagerly via :meth:`warmup`), reused
+  across any number of sweeps.  The worker initializer pre-imports the
+  whole protocol stack so the first real cell does not pay import
+  latency inside the worker.
 * **Spawn start method.**  Workers are started fresh (``spawn``) rather
   than forked: identical behaviour on Linux/macOS/Windows, no
   fork-with-threads hazards, and an honest cold-start cost that the
-  warm pool then amortizes away.  (This is also why the initializer
-  matters — under ``fork`` imports are inherited, under ``spawn`` they
-  are not.)
+  warm pool then amortizes away.
 * **Adaptive chunked dispatch.**  Cells ship in chunks sized from the
   grid and worker count (``chunksize=0`` picks
   ``clamp(todo / (workers * 4), 1, 16)``), collapsing per-cell IPC
@@ -25,20 +25,66 @@ execution the fast path:
   canonical JSONL form; the parent appends the raw line to the
   ``ResultStore`` instead of re-serializing (one canonical encoder, one
   invocation — byte-identity across serial/parallel is by construction).
+* **Self-healing supervision.**  Each worker is an explicit ``Process``
+  with a duplex ``Pipe`` (``multiprocessing.Pool`` hangs forever when a
+  worker is SIGKILLed mid-task — its result simply never arrives).  The
+  parent detects worker death and per-chunk timeouts, respawns the
+  worker, and retries the affected cells with deterministic exponential
+  backoff + jitter derived from the cell hash
+  (:func:`repro.faults.retry_backoff`).  A cell that exhausts its
+  retries becomes a canonical ``status: "failed"`` quarantine record
+  instead of killing the sweep.  A worker that dies during start-up
+  raises :class:`WorkerPoolError` carrying its exit code — never a
+  silent hang.
+* **Chaos mode.**  A :class:`repro.faults.ChaosPlan` SIGKILLs workers
+  immediately before selected cells — on the first attempt only, so a
+  sweep with ``retries >= 1`` always converges to the byte-identical
+  record set of a fault-free run (successful records are pure functions
+  of their cells; attempts leave no trace on them).
 
 Determinism is unaffected by any of this: cells derive all randomness
 from their own coordinates, workers share no mutable state, and the
 per-worker prebuild caches (:mod:`repro.harness.prebuild`) hold only
 artefacts that are pure functions of their cache key.  Completion order
-*within* a sweep may vary with chunking — exactly as it already did
-with ``imap_unordered`` — which is why consumers read sorted records.
+*within* a sweep may vary with chunking and retries — exactly as it
+already did under ``imap_unordered`` — which is why consumers read
+sorted records.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import sys
+import time
+from collections import deque
+from multiprocessing import connection
+
+from repro.faults import ChaosPlan, retry_backoff
+
+_READY = "__worker_ready__"
+
+#: Consecutive init-phase worker deaths tolerated before the supervisor
+#: concludes workers cannot start at all and raises WorkerPoolError.
+_MAX_INIT_DEATHS = 3
+
+#: Supervision poll interval (seconds): the upper bound on how stale a
+#: deadline/death check can be.  connection.wait returns immediately on
+#: traffic, so a healthy pool never waits this long for results.
+_POLL_INTERVAL = 0.05
+
+#: Test hooks (inherited by spawn workers via the environment): die with
+#: the given exit code before initializing; hang for an hour before
+#: executing the named cell while its attempt count is below the
+#: threshold (default 1: first attempt hangs, retries succeed).
+_DIE_ON_INIT_ENV = "REPRO_SWEEP_WORKER_DIE_ON_INIT"
+_HANG_CELL_ENV = "REPRO_SWEEP_TEST_HANG_CELL"
+_HANG_ATTEMPTS_ENV = "REPRO_SWEEP_TEST_HANG_ATTEMPTS"
+
+
+class WorkerPoolError(RuntimeError):
+    """A sweep worker died outside any cell (start-up / initialization)."""
 
 
 def _resolved_start_method(preferred: str) -> str:
@@ -84,12 +130,6 @@ def _worker_init() -> None:
     Log.genesis()
 
 
-def _worker_ping(_: int) -> int:
-    """No-op task used by :meth:`SweepExecutor.warmup` as a barrier."""
-
-    return 0
-
-
 def _run_cell_to_line(payload: tuple[dict, str]) -> str:
     """Worker entry point: execute one cell, return its canonical line.
 
@@ -106,6 +146,53 @@ def _run_cell_to_line(payload: tuple[dict, str]) -> str:
     return canonical_record(run_cell(Cell.from_dict(cell_data), trace_mode))
 
 
+def _pool_worker_main(conn) -> None:
+    """Worker process main loop: init, handshake, serve chunk tasks.
+
+    Protocol (all over the duplex pipe): the worker sends ``_READY``
+    once initialized, then for each received ``(task_id, trace_mode,
+    items)`` — where ``items`` is a list of ``(cell_dict, attempt,
+    kill)`` triples — it executes the cells in order and replies
+    ``(task_id, lines)``.  A ``kill`` item SIGKILLs the process before
+    executing that cell (chaos mode: the parent decides, the worker
+    obeys, determinism lives with the :class:`~repro.faults.ChaosPlan`).
+    ``None`` or a closed pipe shuts the worker down.
+    """
+
+    die = os.environ.get(_DIE_ON_INIT_ENV)
+    if die:
+        os._exit(int(die))
+    _worker_init()
+    try:
+        conn.send(_READY)
+    except (BrokenPipeError, OSError):
+        return
+    hang_cell = os.environ.get(_HANG_CELL_ENV)
+    hang_attempts = int(os.environ.get(_HANG_ATTEMPTS_ENV, "1"))
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        task_id, trace_mode, items = task
+        lines = []
+        for cell_data, attempt, kill in items:
+            if kill:
+                os.kill(os.getpid(), signal.SIGKILL)
+            if hang_cell is not None and attempt < hang_attempts:
+                from repro.harness.sweep import Cell
+
+                if Cell.from_dict(cell_data).cell_id == hang_cell:
+                    time.sleep(3600)
+            lines.append(_run_cell_to_line((cell_data, trace_mode)))
+        try:
+            conn.send((task_id, lines))
+        except (BrokenPipeError, OSError):
+            return
+
+
 def adaptive_chunksize(todo: int, workers: int) -> int:
     """Chunk size balancing IPC amortization against load balance.
 
@@ -119,12 +206,46 @@ def adaptive_chunksize(todo: int, workers: int) -> int:
     return max(1, min(16, todo // (workers * 4) or 1))
 
 
+class _Worker:
+    """Parent-side handle for one supervised worker process."""
+
+    __slots__ = ("proc", "conn", "ready", "task", "deadline")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.ready = False
+        self.task = None
+        self.deadline = None
+
+
+class _CellTask:
+    """Mutable retry state for one cell within one dispatch."""
+
+    __slots__ = ("cell", "attempts", "not_before")
+
+    def __init__(self, cell) -> None:
+        self.cell = cell
+        self.attempts = 0
+        self.not_before = 0.0
+
+
+class _Chunk:
+    """One in-flight dispatch: a task id plus the cell states it carries."""
+
+    __slots__ = ("task_id", "states")
+
+    def __init__(self, task_id: int, states: list) -> None:
+        self.task_id = task_id
+        self.states = states
+
+
 class SweepExecutor:
-    """A reusable, context-managed worker pool for sweep execution.
+    """A reusable, context-managed, self-healing worker pool.
 
     Usage::
 
-        with SweepExecutor(workers=4) as executor:
+        with SweepExecutor(workers=4, retries=2, cell_timeout=30.0) as executor:
             executor.warmup()                      # optional: pay start-up now
             run_sweep(spec_a, store=a, executor=executor)
             run_sweep(spec_b, store=b, executor=executor)  # warm pool reused
@@ -132,6 +253,15 @@ class SweepExecutor:
     The pool is created lazily on first use, so constructing an executor
     is free.  ``close()`` (or leaving the ``with`` block) terminates the
     workers; a closed executor refuses further dispatch.
+
+    ``retries`` bounds how many times a failed cell (worker death or
+    timeout) is re-executed before it is quarantined as a ``status:
+    "failed"`` record; retried cells are dispatched solo so one poisoned
+    cell cannot burn its chunk-mates' attempts.  ``cell_timeout``
+    (seconds) is a per-cell budget — a chunk of ``k`` cells gets ``k *
+    cell_timeout`` before its worker is killed and the cells retried.
+    ``chaos`` installs a :class:`repro.faults.ChaosPlan` that SIGKILLs
+    workers before selected cells' first attempts.
     """
 
     def __init__(
@@ -139,60 +269,135 @@ class SweepExecutor:
         workers: int = 2,
         chunksize: int = 0,
         start_method: str = "spawn",
+        retries: int = 0,
+        cell_timeout: float | None = None,
+        retry_backoff_base: float = 0.05,
+        chaos: ChaosPlan | None = None,
+        warmup_timeout: float = 60.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if chunksize < 0:
             raise ValueError("chunksize must be >= 0 (0 = adaptive)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive (None = no timeout)")
         self.workers = workers
         self.chunksize = chunksize
+        self.retries = retries
+        self.cell_timeout = cell_timeout
+        self.chaos = chaos
+        self._backoff_base = retry_backoff_base
+        self._warmup_timeout = warmup_timeout
         self._start_method = start_method
-        self._pool = None
+        self._ctx = None
+        self._workers: list[_Worker] | None = None
         self._closed = False
+        self._next_task_id = 0
+        self._init_deaths = 0
         self.sweeps_dispatched = 0
         self.cells_dispatched = 0
+        self.retries_attempted = 0
+        self.cells_quarantined = 0
+        self.workers_respawned = 0
 
     # -- lifecycle -----------------------------------------------------------
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> list[_Worker]:
         if self._closed:
             raise RuntimeError("executor is closed")
-        if self._pool is None:
-            context = multiprocessing.get_context(
+        if self._workers is None:
+            self._ctx = multiprocessing.get_context(
                 _resolved_start_method(self._start_method)
             )
-            self._pool = context.Pool(
-                processes=self.workers, initializer=_worker_init
-            )
-        return self._pool
+            self._workers = [self._spawn_worker() for _ in range(self.workers)]
+        return self._workers
+
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()  # the parent's copy; EOF detection needs it gone
+        return _Worker(proc, parent_conn)
+
+    def _replace_worker(self, index: int) -> None:
+        worker = self._workers[index]
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join()
+        self.workers_respawned += 1
+        self._workers[index] = self._spawn_worker()
 
     @property
     def started(self) -> bool:
         """Whether the worker pool has been created yet."""
 
-        return self._pool is not None
+        return self._workers is not None
 
     def warmup(self) -> None:
-        """Start the pool now and wait until workers are serving tasks.
+        """Start the pool now and wait until every worker is serving.
 
-        A best-effort barrier: the initializer runs in every worker
-        before it accepts tasks, and the ping round-trip confirms at
-        least one worker is through it (the rest initialize in
-        parallel).  Calling this before a timed sweep moves pool
-        start-up out of the measurement — the ``--warm`` CLI flag and
-        the cells/sec benchmarks rely on it.
+        Blocks until all workers have completed their initializer and
+        sent the ready handshake.  A worker that dies on the way up —
+        the ``multiprocessing.Pool`` version of this engine silently
+        respawned such workers forever, hanging the caller — raises
+        :class:`WorkerPoolError` carrying the dead worker's exit code.
+        Calling this before a timed sweep moves pool start-up out of the
+        measurement — the ``--warm`` CLI flag and the cells/sec
+        benchmarks rely on it.
         """
 
-        pool = self._ensure_pool()
-        pool.map(_worker_ping, range(self.workers), chunksize=1)
+        workers = self._ensure_pool()
+        deadline = time.monotonic() + self._warmup_timeout
+
+        def died(worker: _Worker) -> WorkerPoolError:
+            worker.proc.join()
+            return WorkerPoolError(
+                f"sweep worker (pid {worker.proc.pid}) died during "
+                f"warmup with exit code {worker.proc.exitcode}"
+            )
+
+        for worker in workers:
+            while not worker.ready:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise WorkerPoolError(
+                        f"sweep worker (pid {worker.proc.pid}) failed to "
+                        f"initialize within {self._warmup_timeout:.0f}s"
+                    )
+                if worker.conn.poll(min(remaining, _POLL_INTERVAL)):
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # A dead peer's pipe stays readable (EOF), so the
+                        # recv failure *is* the death signal here.
+                        raise died(worker) from None
+                    if message == _READY:
+                        worker.ready = True
+                elif not worker.proc.is_alive():
+                    raise died(worker)
 
     def close(self) -> None:
         """Terminate the workers.  Idempotent."""
 
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        if self._workers is not None:
+            for worker in self._workers:
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                if worker.proc.is_alive():
+                    worker.proc.kill()
+            for worker in self._workers:
+                worker.proc.join()
+            self._workers = None
         self._closed = True
 
     def __enter__(self) -> "SweepExecutor":
@@ -206,20 +411,200 @@ class SweepExecutor:
     def map_cells(self, cells, trace_mode: str = "bounded", chunksize: int | None = None):
         """Execute ``cells`` on the pool; yield canonical JSONL lines.
 
-        Lines arrive in completion order (``imap_unordered``), one per
-        cell, each exactly as the worker serialized it.  ``chunksize``
-        overrides the executor default for this dispatch; ``0`` (or an
-        executor constructed with 0) picks :func:`adaptive_chunksize`.
+        Lines arrive in completion order, one per cell, each exactly as
+        the worker serialized it — except quarantine records (cells that
+        exhausted their retries), which the parent serializes with the
+        same canonical encoder.  ``chunksize`` overrides the executor
+        default for this dispatch; ``0`` (or an executor constructed
+        with 0) picks :func:`adaptive_chunksize`.
         """
 
         cells = list(cells)
         if not cells:
             return iter(())
-        pool = self._ensure_pool()
+        self._ensure_pool()
         effective = chunksize if chunksize is not None else self.chunksize
         if effective == 0:
             effective = adaptive_chunksize(len(cells), self.workers)
-        payloads = [(cell.to_dict(), trace_mode) for cell in cells]
         self.sweeps_dispatched += 1
         self.cells_dispatched += len(cells)
-        return pool.imap_unordered(_run_cell_to_line, payloads, chunksize=effective)
+        return self._supervise(cells, trace_mode, effective)
+
+    # -- supervision ---------------------------------------------------------
+
+    def _supervise(self, cells, trace_mode: str, chunksize: int):
+        """The scheduling loop: assign, collect, heal, retry, quarantine."""
+
+        # A previous dispatch abandoned mid-sweep may have left chunks
+        # attached; task ids are monotonic, so clearing the handles makes
+        # any late results from those chunks harmlessly stale.
+        for worker in self._workers:
+            worker.task = None
+            worker.deadline = None
+
+        queue = deque(_CellTask(cell) for cell in cells)
+        total = len(cells)
+        done = 0
+        while done < total:
+            out: list[str] = []
+            now = time.monotonic()
+
+            # Reap dead and timed-out workers; requeue their cells.  The
+            # pipe is drained first so a result that raced ahead of a
+            # death is honoured rather than re-executed.
+            for index, worker in enumerate(self._workers):
+                if not worker.proc.is_alive():
+                    self._drain_conn(worker, out)
+                    if worker.task is not None:
+                        self._fail_chunk(
+                            worker.task,
+                            f"worker died (exit code {worker.proc.exitcode})",
+                            queue, out, now,
+                        )
+                        worker.task = None
+                    elif not worker.ready:
+                        # Death before the ready handshake means worker
+                        # initialization itself is broken; tolerate a
+                        # bounded number, then give up loudly instead of
+                        # respawning forever (the silent-hang bug).
+                        self._init_deaths += 1
+                        if self._init_deaths >= _MAX_INIT_DEATHS:
+                            raise WorkerPoolError(
+                                f"sweep workers keep dying during start-up "
+                                f"(last exit code {worker.proc.exitcode}); "
+                                f"giving up after {self._init_deaths} attempts"
+                            )
+                    self._replace_worker(index)
+                elif (
+                    worker.task is not None
+                    and worker.deadline is not None
+                    and now >= worker.deadline
+                    and not worker.conn.poll()
+                ):
+                    worker.proc.kill()
+                    worker.proc.join()
+                    self._drain_conn(worker, out)
+                    if worker.task is not None:
+                        self._fail_chunk(
+                            worker.task,
+                            f"cell timeout after {self.cell_timeout:.1f}s",
+                            queue, out, now,
+                        )
+                        worker.task = None
+                    self._replace_worker(index)
+
+            # Assign work to idle, ready workers.
+            for worker in self._workers:
+                if worker.task is not None or not worker.ready or not queue:
+                    continue
+                states = self._next_batch(queue, now, chunksize)
+                if not states:
+                    break  # everything pending is backing off
+                chaos = self.chaos
+                items = [
+                    (
+                        state.cell.to_dict(),
+                        state.attempts,
+                        chaos is not None
+                        and chaos.kills(state.cell.cell_id, state.attempts),
+                    )
+                    for state in states
+                ]
+                chunk = _Chunk(self._next_task_id, states)
+                self._next_task_id += 1
+                try:
+                    worker.conn.send((chunk.task_id, trace_mode, items))
+                except (BrokenPipeError, OSError):
+                    queue.extendleft(reversed(states))
+                    continue  # death is reaped on the next iteration
+                worker.task = chunk
+                if self.cell_timeout is not None:
+                    worker.deadline = now + self.cell_timeout * len(states)
+
+            # Collect results (and ready handshakes).
+            by_conn = {worker.conn: worker for worker in self._workers}
+            for conn in connection.wait(list(by_conn), timeout=_POLL_INTERVAL):
+                worker = by_conn[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    continue  # death is reaped on the next iteration
+                self._handle_message(worker, message, out)
+
+            done += len(out)
+            yield from out
+
+    def _drain_conn(self, worker: _Worker, out: list[str]) -> None:
+        """Process any complete messages still buffered on a dead pipe."""
+
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return
+            self._handle_message(worker, message, out)
+
+    def _handle_message(self, worker: _Worker, message, out: list[str]) -> None:
+        """Apply one worker message: ready handshake or chunk result."""
+
+        if message == _READY:
+            worker.ready = True
+            self._init_deaths = 0
+            return
+        task_id, lines = message
+        chunk = worker.task
+        if chunk is None or task_id != chunk.task_id:
+            return  # stale result from an abandoned dispatch
+        worker.task = None
+        worker.deadline = None
+        out.extend(lines)
+
+    def _fail_chunk(self, chunk: _Chunk, error: str, queue, out: list[str], now: float) -> None:
+        """One attempt failed for every cell in ``chunk``: retry or quarantine.
+
+        Retried cells go to the back of the queue with a deterministic
+        backoff stamp and are later dispatched solo (see
+        :meth:`_next_batch`), so a poisoned cell stops taking hostages.
+        Cells out of retries become canonical ``status: "failed"``
+        records, appended to ``out`` for the caller to yield.
+        """
+
+        from repro.harness.sweep import canonical_record, quarantine_record
+
+        for state in chunk.states:
+            state.attempts += 1
+            if state.attempts > self.retries:
+                self.cells_quarantined += 1
+                out.append(
+                    canonical_record(
+                        quarantine_record(state.cell, error, state.attempts)
+                    )
+                )
+            else:
+                self.retries_attempted += 1
+                state.not_before = now + retry_backoff(
+                    state.cell.cell_id, state.attempts, self._backoff_base
+                )
+                queue.append(state)
+
+    def _next_batch(self, queue, now: float, chunksize: int) -> list:
+        """Pop the next dispatchable batch: fresh cells chunked, retries solo."""
+
+        batch: list[_CellTask] = []
+        deferred: list[_CellTask] = []
+        while queue and len(batch) < chunksize:
+            state = queue.popleft()
+            if state.not_before > now:
+                deferred.append(state)
+                continue
+            if state.attempts > 0:
+                if batch:
+                    deferred.append(state)
+                    continue
+                batch.append(state)
+                break  # retried cells run alone
+            batch.append(state)
+        queue.extend(deferred)
+        return batch

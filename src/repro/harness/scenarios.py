@@ -11,7 +11,14 @@ common ones are:
 * :func:`late_join_scenario` — a block of validators sleeps through the
   first views and joins late, stabilization-aware;
 * :func:`bursty_churn_scenario` — partition-style outages: a group of
-  honest validators naps *together* in periodic bursts.
+  honest validators naps *together* in periodic bursts;
+* :func:`crash_recovery_scenario` — a seeded :class:`repro.faults.FaultSpec`
+  crashes a minority of honest validators mid-run (optionally with
+  message drops) and recovers them, compliance-checked against the
+  *effective* schedule (base schedule minus crash windows);
+* :func:`partition_scenario` — a regional outage: a minority group is
+  partitioned off (cross-group traffic dropped) and crashed for the
+  window, then healed.
 
 The schedule builders behind the last two (:func:`late_join_schedule`,
 :func:`bursty_schedule`) are exposed separately so the sweep engine can
@@ -27,6 +34,7 @@ from repro.adversary.tob_attackers import make_tob_attacker_factory
 from repro.chain.transactions import TransactionPool
 from repro.crypto.signatures import KeyRegistry
 from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol, TobSvdResult
+from repro.faults import FaultSpec, crashed_schedule
 from repro.sleepy.compliance import check_compliance
 from repro.sleepy.corruption import CorruptionPlan
 from repro.sleepy.participation import ParticipationModel
@@ -41,11 +49,15 @@ def stable_scenario(
     pool: TransactionPool | None = None,
     trace_mode: str = "full",
     registry: KeyRegistry | None = None,
+    fault_plan=None,
 ) -> TobSvdProtocol:
     """Everyone honest and always awake."""
 
     config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
-    return TobSvdProtocol(config, pool=pool, trace_mode=trace_mode, registry=registry)
+    return TobSvdProtocol(
+        config, pool=pool, trace_mode=trace_mode, registry=registry,
+        fault_plan=fault_plan,
+    )
 
 
 def equivocating_scenario(
@@ -58,6 +70,7 @@ def equivocating_scenario(
     pool: TransactionPool | None = None,
     trace_mode: str = "full",
     registry: KeyRegistry | None = None,
+    fault_plan=None,
 ) -> TobSvdProtocol:
     """``f`` Byzantine validators running the chosen attack.
 
@@ -79,6 +92,7 @@ def equivocating_scenario(
         pool=pool,
         trace_mode=trace_mode,
         registry=registry,
+        fault_plan=fault_plan,
     )
 
 
@@ -269,6 +283,130 @@ def bursty_churn_scenario(
     if require_compliance:
         check_schedule_compliance(config, schedule, CorruptionPlan.none(), "bursty")
     return TobSvdProtocol(config, schedule=schedule, pool=pool, trace_mode=trace_mode)
+
+
+def compile_checked_fault_plan(
+    spec: FaultSpec,
+    config: TobSvdConfig,
+    corruption: CorruptionPlan,
+    schedule: AwakeSchedule | None,
+    label: str,
+    require_compliance: bool = True,
+):
+    """Compile ``spec`` for ``config`` and compliance-check its crashes.
+
+    Byzantine ids are protected (the model keeps them always awake), and
+    the crash windows are subtracted from the base participation schedule
+    to form the *effective* schedule, which must still satisfy paper
+    Condition (1) — a fault plan that drops too many honest validators at
+    once has left the sleepy model, and that is a configuration error,
+    not an interesting run.
+    """
+
+    plan = spec.compile(
+        n=config.n,
+        delta=config.delta,
+        horizon=config.horizon,
+        view_ticks=config.time.view_ticks,
+        protected=corruption.initial_byzantine,
+    )
+    if require_compliance:
+        base = schedule if schedule is not None else AwakeSchedule.always_awake(config.n)
+        effective = crashed_schedule(base, plan.crash_windows)
+        check_schedule_compliance(config, effective, corruption, label)
+    return plan
+
+
+def crash_recovery_scenario(
+    n: int = 10,
+    num_views: int = 10,
+    delta: int = 4,
+    seed: int = 0,
+    crash_fraction: float = 0.25,
+    crash_view: int = 2,
+    outage_views: int = 2,
+    drop_rate: float = 0.0,
+    fault_spec: FaultSpec | None = None,
+    pool: TransactionPool | None = None,
+    require_compliance: bool = True,
+    trace_mode: str = "full",
+    registry: KeyRegistry | None = None,
+) -> TobSvdProtocol:
+    """Honest validators crash mid-run and recover; everyone else stays up.
+
+    ``crash_fraction`` of the validators (seed-chosen) go down around
+    view ``crash_view`` for ``outage_views`` whole views — long enough
+    (``>= T_s + T_b = 7Δ`` for the default 2) that recovered validators
+    re-qualify as active before their votes matter.  ``drop_rate`` adds
+    uniform message loss on top.  Pass ``fault_spec`` to override the
+    derived spec entirely.  The effective schedule (always-awake minus
+    crash windows) is compliance-checked, so a passing configuration
+    stays inside the sleepy model and must keep the safety invariant.
+    """
+
+    config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
+    if fault_spec is None:
+        if not 0 < crash_fraction < 0.5:
+            raise ValueError("crash_fraction must lie in (0, 0.5)")
+        fault_spec = FaultSpec(
+            seed=seed,
+            crash_count=max(1, int(n * crash_fraction)),
+            crash_view=crash_view,
+            crash_deltas=outage_views * 4,
+            drop_rate=drop_rate,
+        )
+    plan = compile_checked_fault_plan(
+        fault_spec, config, CorruptionPlan.none(), None, "crash-recovery",
+        require_compliance,
+    )
+    return TobSvdProtocol(
+        config, fault_plan=plan, pool=pool, trace_mode=trace_mode, registry=registry
+    )
+
+
+def partition_scenario(
+    n: int = 10,
+    num_views: int = 10,
+    delta: int = 4,
+    seed: int = 0,
+    partition_fraction: float = 0.25,
+    partition_view: int = 2,
+    outage_views: int = 2,
+    partitions: int = 1,
+    fault_spec: FaultSpec | None = None,
+    pool: TransactionPool | None = None,
+    require_compliance: bool = True,
+    trace_mode: str = "full",
+    registry: KeyRegistry | None = None,
+) -> TobSvdProtocol:
+    """A regional outage: a minority group is cut off, then healed.
+
+    Each partition window isolates ``partition_fraction`` of the
+    validators (seed-chosen) for ``outage_views`` views: cross-group
+    messages are *dropped* (a partition loses traffic — unlike sleep,
+    which defers it) and the isolated group is crashed for the window,
+    the regional-outage semantics that keep the run inside the sleepy
+    model (an *awake* isolated minority would decide on partial views —
+    a model violation, not a protocol bug).  Healed validators catch up
+    from ongoing LOG traffic, which carries full chains.
+    """
+
+    config = TobSvdConfig(n=n, num_views=num_views, delta=delta, seed=seed)
+    if fault_spec is None:
+        fault_spec = FaultSpec(
+            seed=seed,
+            partitions=partitions,
+            partition_fraction=partition_fraction,
+            partition_view=partition_view,
+            partition_deltas=outage_views * 4,
+        )
+    plan = compile_checked_fault_plan(
+        fault_spec, config, CorruptionPlan.none(), None, "partition",
+        require_compliance,
+    )
+    return TobSvdProtocol(
+        config, fault_plan=plan, pool=pool, trace_mode=trace_mode, registry=registry
+    )
 
 
 def run_scenario(protocol: TobSvdProtocol) -> TobSvdResult:

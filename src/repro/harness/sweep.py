@@ -308,6 +308,27 @@ def run_cell(cell: Cell, trace_mode: str = "bounded") -> dict:
     }
 
 
+def quarantine_record(cell: Cell, error: str, attempts: int) -> dict:
+    """The canonical record for a cell whose every attempt failed.
+
+    Shares the :func:`run_cell` schema (so aggregation and resume logic
+    treat it uniformly) with ``status: "failed"`` plus an ``attempts``
+    count.  Quarantine records are the *only* records carrying attempt
+    metadata — successful records stay pure functions of the cell, which
+    is what keeps chaos runs byte-identical to fault-free ones.
+    """
+
+    return {
+        "cell_id": cell.cell_id,
+        "cell": cell.to_dict(),
+        "run_seed": cell.run_seed,
+        "status": "failed",
+        "error": error,
+        "metrics": {},
+        "attempts": attempts,
+    }
+
+
 def prepare_cell(cell: Cell, trace_mode: str = "bounded"):
     """Build a cell's ready-to-run protocol and its submitted traffic.
 
@@ -410,12 +431,90 @@ class ResultStore:
 
     One record per line.  Reads skip unparsable lines (a sweep killed
     mid-write leaves at most one truncated final line), which is what
-    makes resume-after-kill safe without any journalling.
+    makes resume-after-kill safe without any journalling.  For damage
+    beyond a truncated tail — corrupt JSON mid-file, or a record whose
+    embedded cell no longer hashes to its claimed ``cell_id`` —
+    :meth:`recover` quarantines the bad lines to a ``.bad`` sidecar so
+    the affected cells re-run on resume instead of being shadowed.
     """
 
     def __init__(self, path: str) -> None:
         self.path = path
         self._tail_checked = False
+
+    @property
+    def bad_path(self) -> str:
+        """Sidecar file holding quarantined (corrupt) lines."""
+
+        return self.path + ".bad"
+
+    @staticmethod
+    def _integrity_ok(record) -> bool:
+        """Does a parsed record's embedded cell agree with its cell_id?
+
+        Records that embed a ``cell`` dict must hash back to their claimed
+        ``cell_id`` — a mismatch means the line was corrupted (bit rot,
+        interleaved writes) even though it still parses as JSON.  Records
+        without an embedded cell are accepted as-is.
+        """
+
+        if not isinstance(record, dict) or "cell_id" not in record:
+            return False
+        cell = record.get("cell")
+        if cell is None:
+            return True
+        try:
+            return Cell.from_dict(cell).cell_id == record["cell_id"]
+        except (TypeError, ValueError, KeyError):
+            return False
+
+    def recover(self) -> int:
+        """Quarantine corrupt mid-file lines to the ``.bad`` sidecar.
+
+        :meth:`load` already *skips* unparsable lines, which is enough for
+        a truncated tail but leaves mid-file corruption (bad JSON, or a
+        record whose embedded cell no longer hashes to its ``cell_id``)
+        sitting in the store where it silently shadows the cell forever.
+        ``recover`` rewrites the store without those lines — atomically,
+        via a temp file and :func:`os.replace` — appends them verbatim to
+        ``.bad``, and returns the number quarantined so the caller can
+        re-run the affected cells.  A clean store is left untouched.
+        """
+
+        if not os.path.exists(self.path):
+            return 0
+        good: list[str] = []
+        bad: list[str] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for raw in fh.read().splitlines():
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    bad.append(raw)
+                    continue
+                if self._integrity_ok(record):
+                    good.append(raw)
+                else:
+                    bad.append(raw)
+        if not bad:
+            return 0
+        with open(self.bad_path, "a", encoding="utf-8") as fh:
+            for line in bad:
+                fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for line in good:
+                fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._tail_checked = True  # the rewrite always ends on a newline
+        return len(bad)
 
     def _ensure_trailing_newline(self) -> None:
         """Repair a truncated final line before appending new records.
@@ -457,12 +556,19 @@ class ResultStore:
         return records
 
     def completed_ids(self) -> set[str]:
-        """Cell ids with a recorded result (``ok`` or ``error`` both count)."""
+        """Cell ids with a durable result (``ok`` and ``error`` count).
+
+        Quarantined ``failed`` records do *not* count: a cell that
+        exhausted its retries should re-run on the next resume, and its
+        fresh record — appended later — supersedes the quarantine line.
+        """
 
         return {
             record["cell_id"]
             for record in self.load()
-            if isinstance(record, dict) and "cell_id" in record
+            if isinstance(record, dict)
+            and "cell_id" in record
+            and record.get("status") != "failed"
         }
 
     def append(self, record: dict) -> None:
@@ -505,6 +611,7 @@ class SweepOutcome:
     executed: int
     skipped: int
     records: list[dict] = field(default_factory=list)
+    recovered: int = 0
 
     def sorted_records(self) -> list[dict]:
         """Records in canonical (cell_id) order — the aggregation input."""
@@ -549,6 +656,7 @@ def run_sweep(
     """
 
     cells = spec.expand()
+    recovered = store.recover() if store is not None else 0
     done = store.completed_ids() if store is not None else set()
     todo = [cell for cell in cells if cell.cell_id not in done]
 
@@ -583,4 +691,5 @@ def run_sweep(
         executed=len(todo),
         skipped=len(cells) - len(todo),
         records=[records[cid] for cid in sorted(wanted & set(records))],
+        recovered=recovered,
     )

@@ -94,6 +94,37 @@ class SplitDelay:
         return self._delta
 
 
+class FaultyDelay:
+    """A base policy plus a fault plan's deterministic delay spikes.
+
+    Installed by the network when a :class:`repro.faults.FaultPlan` with
+    message faults is active.  The base delay is Δ-clamped *here* and the
+    plan's spike ticks are added on top — spikes may deliberately exceed
+    the Δ bound (fault injection probes behaviour outside the promised
+    synchrony), which is why this wrapper declares ``preclamped``: the
+    network must not re-clamp the sum.  No ``fixed_delay`` attribute is
+    ever exposed, so the shared-fanout fast path stays disabled while
+    message faults are live and every send visits the per-recipient
+    fault hooks.
+    """
+
+    preclamped = True
+
+    def __init__(self, base: DelayPolicy, plan, delta: int) -> None:
+        self._base = base
+        self._plan = plan
+        self._delta = delta
+
+    @property
+    def base(self) -> DelayPolicy:
+        return self._base
+
+    def delay(self, sender: int, recipient: int, envelope: Envelope, send_time: int) -> int:
+        base = self._base.delay(sender, recipient, envelope, send_time)
+        base = max(0, min(base, self._delta))
+        return base + self._plan.spike(sender, recipient, envelope, send_time)
+
+
 MatchFn = Callable[[int, int, Envelope, int], bool]
 
 

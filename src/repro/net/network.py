@@ -98,6 +98,7 @@ class Network:
         registry: KeyRegistry,
         delay_policy: DelayPolicy,
         buffer_while_asleep: bool = True,
+        fault_plan=None,
     ) -> None:
         """``buffer_while_asleep`` selects the sleep semantics.
 
@@ -106,18 +107,30 @@ class Network:
         the *practical* model of Section 2: asleep validators lose
         traffic and must run the RECOVERY protocol
         (:mod:`repro.core.recovery`) to catch up.
+
+        ``fault_plan`` (a compiled :class:`repro.faults.FaultPlan`, or
+        None) injects deterministic message faults: partition cuts and
+        drops remove deliveries, duplication schedules a second copy,
+        delay spikes ride in via :class:`~repro.net.delays.FaultyDelay`.
+        A plan without message faults — or no plan, the default — leaves
+        every fast path untouched; the disabled layer costs one
+        attribute check per broadcast.  Self-delivery and Byzantine
+        ``send_direct`` traffic are never faulted (a validator cannot
+        lose its own message, and the adversary owns its delivery).
         """
 
         self._sim = simulator
         self._delta = delta
         self._registry = registry
-        self._policy = delay_policy
-        self._fixed_delay = self._clamped_fixed_delay(delay_policy)
+        self.fault_plan = fault_plan
+        self._install_policy(delay_policy)
         self._buffer_while_asleep = buffer_while_asleep
         self._nodes: dict[int, NetworkNode] = {}
         self._pending: dict[int, list[Envelope]] = defaultdict(list)
         self.stats = MessageStats()
         self.dropped_while_asleep = 0
+        self.fault_drops = 0
+        self.fault_duplicates = 0
         # One intern/lineage context per run; validators read it off the
         # network at construction (docs/ARCHITECTURE.md, "RunContext").
         self.run_context = RunContext()
@@ -154,8 +167,32 @@ class Network:
     def set_delay_policy(self, policy: DelayPolicy) -> None:
         """Swap the delay policy (used by adversaries mid-run)."""
 
-        self._policy = policy
-        self._fixed_delay = self._clamped_fixed_delay(policy)
+        self._install_policy(policy)
+
+    def _install_policy(self, policy: DelayPolicy) -> None:
+        """Install ``policy``, wrapping it in the fault layer when active.
+
+        With message faults live the effective policy is a
+        :class:`~repro.net.delays.FaultyDelay` (Δ-clamps the base, adds
+        spikes, exposes no ``fixed_delay``) and ``_msg_faults`` points at
+        the plan so broadcast/forward consult the drop/duplicate hooks;
+        otherwise the policy is installed as-is and ``_msg_faults`` is
+        None — the zero-overhead-when-disabled path.
+        """
+
+        self._base_policy = policy
+        plan = self.fault_plan
+        if plan is not None and plan.has_message_faults:
+            from repro.net.delays import FaultyDelay
+
+            self._policy = FaultyDelay(policy, plan, self._delta)
+            self._msg_faults = plan
+            self._fixed_delay = None
+        else:
+            self._policy = policy
+            self._msg_faults = None
+            self._fixed_delay = self._clamped_fixed_delay(policy)
+        self._preclamped = getattr(self._policy, "preclamped", False)
 
     def _clamped_fixed_delay(self, policy: DelayPolicy) -> int | None:
         """The policy's declared recipient-independent delay, Delta-clamped."""
@@ -197,6 +234,7 @@ class Network:
         # itself schedule events (forwards), so each segment is flushed in
         # place to keep the global (time, priority, seq) order identical to
         # scheduling every recipient individually.
+        faults = self._msg_faults
         groups: dict[int, list[int]] = {}
         for vid in self._nodes:
             if vid == sender:
@@ -205,9 +243,21 @@ class Network:
                     groups = {}
                 self._deliver(vid, envelope)
                 continue
+            if faults is not None:
+                copies = faults.copies(sender, vid, envelope, now)
+                if copies == 0:
+                    self.fault_drops += 1
+                    continue
+            else:
+                copies = 1
             delay = self._policy.delay(sender, vid, envelope, now)
-            delay = max(0, min(delay, self._delta))
-            groups.setdefault(delay, []).append(vid)
+            if not self._preclamped:
+                delay = max(0, min(delay, self._delta))
+            bucket = groups.setdefault(delay, [])
+            bucket.append(vid)
+            if copies > 1:
+                self.fault_duplicates += 1
+                bucket.append(vid)
         if groups:
             self._flush_groups(now, sender, envelope, groups)
 
@@ -241,13 +291,26 @@ class Network:
                     ),
                 )
             return
+        faults = self._msg_faults
         groups: dict[int, list[int]] = {}
         for vid in self._nodes:
             if vid == forwarder_id or vid == envelope.sender:
                 continue
+            if faults is not None:
+                copies = faults.copies(forwarder_id, vid, envelope, now)
+                if copies == 0:
+                    self.fault_drops += 1
+                    continue
+            else:
+                copies = 1
             delay = self._policy.delay(forwarder_id, vid, envelope, now)
-            delay = max(0, min(delay, self._delta))
-            groups.setdefault(delay, []).append(vid)
+            if not self._preclamped:
+                delay = max(0, min(delay, self._delta))
+            bucket = groups.setdefault(delay, [])
+            bucket.append(vid)
+            if copies > 1:
+                self.fault_duplicates += 1
+                bucket.append(vid)
         if groups:
             self._flush_groups(now, forwarder_id, envelope, groups)
 

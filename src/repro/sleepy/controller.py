@@ -10,6 +10,17 @@ The controller translates the declarative :class:`AwakeSchedule` and
 * at a corruption's *effective* time: flip the validator to Byzantine and
   hand it to the adversary strategy, if one is installed.
 
+A :class:`repro.faults.FaultPlan` adds a fourth event family: **crash /
+recover** windows.  A crash is an unscheduled sleep — the validator goes
+asleep regardless of its schedule and *stays* asleep (scheduled wakes are
+suppressed) until the window's recover event, which wakes it only if the
+schedule says it should be awake then.  Crashes therefore compose with
+the participation schedule exactly like the effective-schedule
+subtraction in :func:`repro.faults.crashed_schedule`, which is what the
+compliance gate checks.  Partition windows emit ``partition`` / ``heal``
+marker events per isolated validator (the network enforces the cut; the
+plan crashes the isolated group itself).
+
 CONTROL priority means all of this happens before same-tick deliveries and
 protocol timers, so a validator waking at ``t`` participates fully at ``t``.
 """
@@ -50,12 +61,15 @@ class SleepController:
         schedule: AwakeSchedule,
         corruption: CorruptionPlan,
         trace: TraceBus | None = None,
+        fault_plan=None,
     ) -> None:
         self._sim = simulator
         self._network = network
         self._schedule = schedule
         self._corruption = corruption
         self._bus = trace
+        self._faults = fault_plan
+        self._crashed: set[int] = set()
         self._nodes: dict[int, ControllableNode] = {}
 
     def manage(self, node: ControllableNode) -> None:
@@ -106,10 +120,57 @@ class SleepController:
                 lambda c=corruption: self._corrupt(c.validator),
                 note=f"corrupt v{corruption.validator}",
             )
+        if self._faults is not None:
+            self._install_faults(horizon)
+
+    def _install_faults(self, horizon: int) -> None:
+        """Schedule the fault plan's crash/recover and partition markers."""
+
+        byzantine = self._corruption.initial_byzantine
+        for window in self._faults.crash_windows:
+            vid = window.validator
+            if vid not in self._nodes or vid in byzantine:
+                continue  # compile() protects Byzantine ids; belt and braces
+            if window.start > horizon:
+                continue
+            self._sim.schedule(
+                max(window.start, 0),
+                EventPriority.CONTROL,
+                lambda v=vid: self._crash(v),
+                note=f"crash v{vid}",
+            )
+            if window.end <= horizon:
+                self._sim.schedule(
+                    window.end,
+                    EventPriority.CONTROL,
+                    lambda v=vid: self._recover(v),
+                    note=f"recover v{vid}",
+                )
+        if self._bus is None:
+            return
+        for window in self._faults.partition_windows:
+            if window.start > horizon:
+                continue
+            for vid in window.isolated:
+                self._sim.schedule(
+                    max(window.start, 0),
+                    EventPriority.CONTROL,
+                    lambda v=vid: self._partition_marker("partition", v),
+                    note=f"partition v{vid}",
+                )
+                if window.heal <= horizon:
+                    self._sim.schedule(
+                        window.heal,
+                        EventPriority.CONTROL,
+                        lambda v=vid: self._partition_marker("heal", v),
+                        note=f"heal v{vid}",
+                    )
 
     # -- transitions --------------------------------------------------------
 
     def _wake(self, vid: int) -> None:
+        if vid in self._crashed:
+            return  # a crashed validator wakes at recovery, not on schedule
         node = self._nodes[vid]
         if node.corrupted:
             return  # Byzantine validators are always awake already
@@ -123,10 +184,42 @@ class SleepController:
         node = self._nodes[vid]
         if node.corrupted:
             return
+        if not node.awake:
+            return  # already down (crashed mid-schedule)
         node.awake = False
         node.on_sleep(self._sim.now)
         if self._bus is not None:
             self._bus.emit_control(ControlEvent(self._sim.now, "sleep", vid))
+
+    def _crash(self, vid: int) -> None:
+        """Fault-plan crash: an unscheduled sleep that pins the node down."""
+
+        node = self._nodes[vid]
+        if node.corrupted:
+            return  # the model keeps Byzantine validators always awake
+        self._crashed.add(vid)
+        if node.awake:
+            node.awake = False
+            node.on_sleep(self._sim.now)
+        if self._bus is not None:
+            self._bus.emit_control(ControlEvent(self._sim.now, "crash", vid))
+
+    def _recover(self, vid: int) -> None:
+        """End of a crash window: wake only if the schedule agrees."""
+
+        self._crashed.discard(vid)
+        node = self._nodes[vid]
+        if node.corrupted:
+            return
+        if not node.awake and self._schedule.awake(vid, self._sim.now):
+            node.awake = True
+            self._network.flush_pending(vid)
+            node.on_wake(self._sim.now)
+        if self._bus is not None:
+            self._bus.emit_control(ControlEvent(self._sim.now, "recover", vid))
+
+    def _partition_marker(self, kind: str, vid: int) -> None:
+        self._bus.emit_control(ControlEvent(self._sim.now, kind, vid))
 
     def _corrupt(self, vid: int) -> None:
         node = self._nodes[vid]

@@ -113,3 +113,30 @@ class TestExecutorDispatch:
         record = json.loads(line)
         assert record["status"] == "error"
         assert "no-such-attacker" in record["error"]
+
+
+class TestWorkerPoolHealth:
+    def test_warmup_death_raises_with_exit_code(self, monkeypatch):
+        from repro.harness.executor import WorkerPoolError
+
+        # Every spawned worker exits with code 13 before its ready
+        # handshake; warmup must surface that instead of hanging (the
+        # multiprocessing.Pool behaviour this executor replaces).
+        monkeypatch.setenv("REPRO_SWEEP_WORKER_DIE_ON_INIT", "13")
+        with SweepExecutor(workers=1) as executor:
+            with pytest.raises(WorkerPoolError, match="13"):
+                executor.warmup()
+
+    def test_dispatch_gives_up_after_repeated_init_deaths(self, monkeypatch):
+        from repro.harness.executor import WorkerPoolError
+
+        monkeypatch.setenv("REPRO_SWEEP_WORKER_DIE_ON_INIT", "7")
+        with SweepExecutor(workers=1) as executor:
+            with pytest.raises(WorkerPoolError, match="start-up"):
+                list(executor.map_cells(TINY.expand()))
+
+    def test_resilience_parameters_validated(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(retries=-1)
+        with pytest.raises(ValueError):
+            SweepExecutor(cell_timeout=0)
