@@ -45,6 +45,13 @@ The ``sweep.*`` family measures orchestration itself: cells/sec over a
 serial reference, and setup-only cost via ``prepare_cell`` with cold vs
 hot prebuild caches.
 
+The ``fleet.*`` family runs the same 32-cell grid through the
+coordinator/runner fabric (``repro.fleet``): two runner processes over
+localhost TCP, timed from the start-barrier release to the last commit,
+so the gap to ``sweep.cells_per_sec_grid32`` is the lease/wire
+overhead.  Real-process numbers are noisier than in-process ones — gate
+this family generously (``--tolerance 'fleet.*=0.9'``).
+
 ``--profile OP`` runs cProfile over one chosen benchmark instead of
 measuring, printing the top-N entries by cumulative and internal time —
 the starting point for any future perf PR.
@@ -417,6 +424,37 @@ def _timed(fn: Callable[[], object]) -> float:
     return time.perf_counter() - start
 
 
+FLEET_FAMILY_OPS = ("fleet.cells_per_sec_w2",)
+
+
+def _measure_fleet_family(smoke: bool) -> dict[str, float]:
+    """Fleet-fabric throughput: the 32-cell grid over localhost TCP.
+
+    Two runner processes lease and execute the grid through a
+    :func:`repro.fleet.local.run_fleet_local` fleet.  The reported
+    figure divides the cell count by the coordinator's *steady-state*
+    elapsed time — first grant eligibility (the start barrier releases
+    once both runners registered) to the last commit — so interpreter
+    spawn sits outside the measurement and the number is directly
+    comparable to ``sweep.cells_per_sec_grid32``: the gap between the
+    two is the fabric's lease/wire overhead.
+    """
+
+    from repro.fleet.local import run_fleet_local
+
+    spec = _sweep_grid32_spec()
+    cells = spec.expand()
+    passes = 1 if smoke else 3
+    best = float("inf")
+    for _ in range(passes):
+        summary = run_fleet_local(
+            cells, runners=2, batch_size=4, timeout=300.0
+        )
+        assert summary.complete and summary.elapsed_steady is not None
+        best = min(best, summary.elapsed_steady)
+    return {"fleet.cells_per_sec_w2": round(len(cells) / best, 2)}
+
+
 FAULT_FAMILY_OPS = ("faults.overhead_off",)
 
 
@@ -759,9 +797,17 @@ def main(argv: list[str] | None = None) -> int:
         or any(args.only in name for name in FAULT_FAMILY_OPS)
         or args.assert_overhead is not None
     )
+    fleet_family_wanted = args.only is None or any(
+        args.only in name for name in FLEET_FAMILY_OPS
+    )
     if args.only:
         ops = {name: fn for name, fn in ops.items() if args.only in name}
-        if not ops and not sweep_family_wanted and not fault_family_wanted:
+        if (
+            not ops
+            and not sweep_family_wanted
+            and not fault_family_wanted
+            and not fleet_family_wanted
+        ):
             print(f"error: --only {args.only!r} matches no ops", file=sys.stderr)
             return 2
 
@@ -787,6 +833,12 @@ def main(argv: list[str] | None = None) -> int:
             unit = "setups/sec" if "setup" in name else "cells/sec"
             print(f"{name:40s} {value:>14,.1f} {unit}", flush=True)
         results.update(sweep_results)
+
+    if fleet_family_wanted:
+        fleet_results = _measure_fleet_family(args.smoke)
+        for name, value in fleet_results.items():
+            print(f"{name:40s} {value:>14,.1f} cells/sec", flush=True)
+        results.update(fleet_results)
 
     fault_overhead_pct: float | None = None
     if fault_family_wanted:

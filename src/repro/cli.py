@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Five subcommands front the experiment subsystem:
+Six subcommands front the experiment subsystem:
 
 * ``run`` — execute one named scenario under a chosen trace-retention
   policy (``--trace full|bounded|off``, default bounded) and print live
@@ -13,6 +13,10 @@ Five subcommands front the experiment subsystem:
 * ``table1`` — regenerate the paper's Table 1 (paper vs analytic model
   vs measured), ``--smoke`` for a seconds-long CI variant;
 * ``scenario`` — run one named scenario family and print its summary;
+* ``fleet`` — the multi-host sweep fabric: ``fleet coordinate`` serves
+  a grid to remote runners over TCP, ``fleet run`` is one runner
+  process, and ``fleet local --runners N`` does both on localhost in a
+  single command;
 * ``bench`` — the machine-readable micro/e2e benchmark harness
   (delegates to ``benchmarks/run_benchmarks.py``).
 
@@ -74,6 +78,63 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
     )
 
 
+def _progress_line(record: dict) -> None:
+    """One console line per finished cell (sweep and fleet commands)."""
+
+    cell = record["cell"]
+    status = record["status"]
+    tag = "" if status == "ok" else f"  [{status}: {record['error']}]"
+    print(
+        f"  {record['cell_id']}  {cell['protocol']:>6s} n={cell['n']:<3d} "
+        f"f={cell['f']} Δ={cell['delta']} {cell['participation']:>9s} "
+        f"seed={cell['seed_index']}{tag}",
+        flush=True,
+    )
+
+
+def _sweep_epilogue(outcome, args: argparse.Namespace) -> int:
+    """Aggregate, render, and grade a finished sweep (any backend)."""
+
+    rows = aggregate_sweep(outcome.sorted_records())
+    if getattr(args, "csv", None):
+        Path(args.csv).write_text(render_sweep_csv(rows), encoding="utf-8")
+        print(f"wrote {args.csv}")
+    if getattr(args, "markdown", None):
+        Path(args.markdown).write_text(render_sweep_markdown(rows), encoding="utf-8")
+        print(f"wrote {args.markdown}")
+    if not getattr(args, "quiet", False):
+        print()
+        print(render_sweep_markdown(rows), end="")
+    errors = sum(row.errors for row in rows)
+    failed = sum(row.failed for row in rows)
+    unsafe = [
+        row for row in rows
+        if row.cells > row.errors + row.failed and not row.safe_all
+    ]
+    if unsafe:
+        print(f"UNSAFE rows: {len(unsafe)}", file=sys.stderr)
+        return 1
+    if errors:
+        print(f"note: {errors} error cells (see {args.out})", file=sys.stderr)
+    if failed:
+        print(
+            f"note: {failed} quarantined cells — every attempt died; "
+            f"they re-run on resume (see {args.out})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _print_fleet_counters(counters: dict) -> None:
+    print(
+        f"  fleet: {counters['runners_registered']} runners registered, "
+        f"{counters['leases_granted']} leases granted, "
+        f"{counters['leases_expired']} expired, "
+        f"{counters['cells_redispatched']} cells re-dispatched, "
+        f"{counters['duplicates_discarded']} duplicates discarded"
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     store = ResultStore(args.out)
@@ -82,17 +143,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"{cell.cell_id}  {cell.canonical_key}")
         return 0
 
-    def progress(record: dict) -> None:
-        cell = record["cell"]
-        status = record["status"]
-        tag = "" if status == "ok" else f"  [{status}: {record['error']}]"
-        print(
-            f"  {record['cell_id']}  {cell['protocol']:>6s} n={cell['n']:<3d} "
-            f"f={cell['f']} Δ={cell['delta']} {cell['participation']:>9s} "
-            f"seed={cell['seed_index']}{tag}",
-            flush=True,
-        )
-
+    progress = None if args.quiet else _progress_line
     executor = None
     resilient = (
         args.retries > 0 or args.cell_timeout is not None or args.chaos > 0
@@ -150,34 +201,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{executor.cells_quarantined} cells quarantined, "
             f"{executor.workers_respawned} workers respawned"
         )
-    rows = aggregate_sweep(outcome.sorted_records())
-    if args.csv:
-        Path(args.csv).write_text(render_sweep_csv(rows), encoding="utf-8")
-        print(f"wrote {args.csv}")
-    if args.markdown:
-        Path(args.markdown).write_text(render_sweep_markdown(rows), encoding="utf-8")
-        print(f"wrote {args.markdown}")
-    if not args.quiet:
-        print()
-        print(render_sweep_markdown(rows), end="")
-    errors = sum(row.errors for row in rows)
-    failed = sum(row.failed for row in rows)
-    unsafe = [
-        row for row in rows
-        if row.cells > row.errors + row.failed and not row.safe_all
-    ]
-    if unsafe:
-        print(f"UNSAFE rows: {len(unsafe)}", file=sys.stderr)
-        return 1
-    if errors:
-        print(f"note: {errors} error cells (see {args.out})", file=sys.stderr)
-    if failed:
-        print(
-            f"note: {failed} quarantined cells — every attempt died; "
-            f"they re-run on resume (see {args.out})",
-            file=sys.stderr,
-        )
-    return 0
+    return _sweep_epilogue(outcome, args)
 
 
 # ---------------------------------------------------------------------------
@@ -412,6 +436,134 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# fleet
+# ---------------------------------------------------------------------------
+
+
+def _cmd_fleet_coordinate(args: argparse.Namespace) -> int:
+    """Serve one sweep's cells to remote runners until all commit."""
+
+    from repro.fleet.coordinator import CoordinatorConfig, FleetCoordinator
+
+    spec = _spec_from_args(args)
+    store = ResultStore(args.out)
+    recovered = store.recover()
+    cells = spec.expand()
+    done = store.completed_ids()
+    todo = [cell for cell in cells if cell.cell_id not in done]
+    print(
+        f"sweep '{spec.name}': {len(cells)} cells, {len(todo)} to run, "
+        f"{len(cells) - len(todo)} resumed-skip"
+        + (f", {recovered} corrupt lines quarantined" if recovered else "")
+    )
+    config = CoordinatorConfig(
+        host=args.host,
+        port=args.port,
+        lease_ttl=args.lease_ttl,
+        batch_size=args.batch,
+        trace_mode=args.trace,
+        hold_until_runners=args.min_runners,
+    )
+    on_commit = None if args.quiet else (
+        lambda line: _progress_line(json.loads(line))
+    )
+    coordinator = FleetCoordinator(
+        todo, store=store, config=config, on_commit=on_commit
+    )
+    host, port = coordinator.start()
+    print(
+        f"coordinator listening on {host}:{port} — start runners with: "
+        f"python -m repro fleet run --host {host} --port {port}",
+        flush=True,
+    )
+    try:
+        if not coordinator.wait(timeout=args.timeout):
+            counters = coordinator.counters()
+            print(
+                f"error: fleet did not converge within {args.timeout:.0f}s "
+                f"({counters['cells_committed']}/{counters['cells_total']} "
+                f"committed; resume with the same --out)",
+                file=sys.stderr,
+            )
+            return 1
+    except KeyboardInterrupt:
+        print("\ninterrupted — committed cells are durable; resume to continue",
+              file=sys.stderr)
+        return 130
+    finally:
+        # When converged, let runners hear ``done`` before sockets drop.
+        coordinator.close(grace=2.0 if coordinator.done else 0.0)
+    _print_fleet_counters(coordinator.counters())
+    outcome = run_sweep(spec, store=store)  # everything recorded: no execution
+    return _sweep_epilogue(outcome, args)
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    """One runner process: lease, execute, stream results, repeat."""
+
+    from repro.fleet.runner import FleetRunner, RunnerError
+
+    runner = FleetRunner(
+        host=args.host,
+        port=args.port,
+        runner_id=args.runner_id,
+        workers=args.workers,
+        max_cells=args.max_cells,
+    )
+    print(f"runner {runner.runner_id} -> {args.host}:{args.port} "
+          f"(workers={args.workers or 'in-process'})", flush=True)
+    try:
+        stats = runner.run()
+    except (RunnerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"done: {stats.cells_executed} cells executed, "
+        f"{stats.results_committed} committed, {stats.duplicates} duplicates, "
+        f"{stats.batches_leased} batches over {stats.waits} waits"
+    )
+    return 0
+
+
+def _cmd_fleet_local(args: argparse.Namespace) -> int:
+    """Coordinator + N runner processes on localhost, one command."""
+
+    from repro.fleet.local import FleetError
+
+    spec = _spec_from_args(args)
+    store = ResultStore(args.out)
+    try:
+        outcome = run_sweep(
+            spec,
+            store=store,
+            workers=args.runners,
+            progress=None if args.quiet else _progress_line,
+            trace_mode=args.trace,
+            backend="fleet",
+            fleet_options={
+                "workers_per_runner": args.workers_per_runner,
+                "lease_ttl": args.lease_ttl,
+                "batch_size": args.batch,
+                "timeout": args.timeout,
+            },
+        )
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    recovered = (
+        f", {outcome.recovered} corrupt lines quarantined" if outcome.recovered else ""
+    )
+    print(
+        f"fleet sweep '{spec.name}': {outcome.total_cells} cells, "
+        f"{outcome.executed} executed on {args.runners} runners, "
+        f"{outcome.skipped} resumed-skip{recovered}"
+    )
+    if outcome.fleet:
+        _print_fleet_counters(outcome.fleet)
+    return _sweep_epilogue(outcome, args)
+
+
+# ---------------------------------------------------------------------------
 # bench
 # ---------------------------------------------------------------------------
 
@@ -459,21 +611,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_grid_args(target: argparse.ArgumentParser) -> None:
+        """The declarative-grid flags shared by sweep and fleet."""
+
+        target.add_argument("--spec", default=None,
+                            help="JSON spec file (overrides grid flags)")
+        target.add_argument("--name", default="sweep",
+                            help="spec name (cell-id namespace)")
+        target.add_argument("--protocols", default="tobsvd",
+                            help="comma list: tobsvd,mr,mmr2,gl,mmr13")
+        target.add_argument("--n", default="8", help="comma list of validator counts")
+        target.add_argument("--f", default="0", help="comma list of Byzantine counts")
+        target.add_argument("--delta", default="2",
+                            help="comma list of Δ values (ticks)")
+        target.add_argument("--attacker", default="equivocating-proposer",
+                            help=f"comma list from {ATTACKERS}")
+        target.add_argument("--participation", default="stable",
+                            help=f"comma list from {PARTICIPATIONS}")
+        target.add_argument("--seeds", type=int, default=1,
+                            help="seeds per grid point")
+        target.add_argument("--views", type=int, default=8, help="views per run")
+        target.add_argument("--txs", type=int, default=8,
+                            help="transactions per cell")
+
+    def add_output_args(target: argparse.ArgumentParser) -> None:
+        """Result-store and aggregate-rendering flags (sweep and fleet)."""
+
+        target.add_argument("--out", default="sweep_results.jsonl",
+                            help="append-only JSONL result store (resume source)")
+        target.add_argument("--csv", default=None, help="write aggregate CSV here")
+        target.add_argument("--markdown", default=None,
+                            help="write aggregate Markdown here")
+        target.add_argument("--quiet", action="store_true",
+                            help="suppress per-cell lines and the aggregate table")
+        target.add_argument("--trace", choices=("full", "bounded"),
+                            default="bounded",
+                            help="per-cell event retention (bounded keeps "
+                            "O(state) memory; metrics are identical either way)")
+
     sweep = sub.add_parser("sweep", help="run a declarative experiment grid")
-    sweep.add_argument("--spec", default=None, help="JSON spec file (overrides grid flags)")
-    sweep.add_argument("--name", default="sweep", help="spec name (cell-id namespace)")
-    sweep.add_argument("--protocols", default="tobsvd",
-                       help="comma list: tobsvd,mr,mmr2,gl,mmr13")
-    sweep.add_argument("--n", default="8", help="comma list of validator counts")
-    sweep.add_argument("--f", default="0", help="comma list of Byzantine counts")
-    sweep.add_argument("--delta", default="2", help="comma list of Δ values (ticks)")
-    sweep.add_argument("--attacker", default="equivocating-proposer",
-                       help=f"comma list from {ATTACKERS}")
-    sweep.add_argument("--participation", default="stable",
-                       help=f"comma list from {PARTICIPATIONS}")
-    sweep.add_argument("--seeds", type=int, default=1, help="seeds per grid point")
-    sweep.add_argument("--views", type=int, default=8, help="views per run")
-    sweep.add_argument("--txs", type=int, default=8, help="transactions per cell")
+    add_grid_args(sweep)
     sweep.add_argument("--workers", type=int, default=1, help="worker processes")
     sweep.add_argument("--chunksize", type=int, default=0,
                        help="cells per dispatch chunk (0 = adaptive: "
@@ -483,16 +660,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "protocol stack) before dispatching cells, so pool "
                        "start-up is excluded from the sweep itself; "
                        "no-op with --workers 1")
-    sweep.add_argument("--out", default="sweep_results.jsonl",
-                       help="append-only JSONL result store (resume source)")
-    sweep.add_argument("--csv", default=None, help="write aggregate CSV here")
-    sweep.add_argument("--markdown", default=None, help="write aggregate Markdown here")
-    sweep.add_argument("--quiet", action="store_true", help="suppress the aggregate table")
+    add_output_args(sweep)
     sweep.add_argument("--list-cells", action="store_true",
                        help="print the expanded grid and exit")
-    sweep.add_argument("--trace", choices=("full", "bounded"), default="bounded",
-                       help="per-cell event retention (bounded keeps O(state) "
-                       "memory; metrics are identical either way)")
     sweep.add_argument("--retries", type=int, default=0,
                        help="re-attempts per cell after a worker death or "
                        "timeout before the cell is quarantined as a "
@@ -553,6 +723,72 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--attacker", default="equivocating-proposer",
                           choices=ATTACKERS)
     scenario.set_defaults(func=_cmd_scenario)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-host sweep fabric: coordinator/runner fleet over TCP",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    coordinate = fleet_sub.add_parser(
+        "coordinate",
+        help="serve a sweep's cells to remote runners until all commit",
+    )
+    add_grid_args(coordinate)
+    add_output_args(coordinate)
+    coordinate.add_argument("--host", default="127.0.0.1",
+                            help="bind address (0.0.0.0 for LAN runners)")
+    coordinate.add_argument("--port", type=int, default=0,
+                            help="bind port (0 = OS-assigned, printed at start)")
+    coordinate.add_argument("--lease-ttl", type=float, default=5.0,
+                            help="seconds a silent runner holds its cells "
+                            "before they re-dispatch")
+    coordinate.add_argument("--batch", type=int, default=8,
+                            help="cells per lease grant")
+    coordinate.add_argument("--min-runners", type=int, default=0,
+                            help="hold the first grant until this many "
+                            "runners registered (start barrier)")
+    coordinate.add_argument("--timeout", type=float, default=None,
+                            help="seconds before giving up on convergence "
+                            "(committed cells stay durable; resumable)")
+    coordinate.set_defaults(func=_cmd_fleet_coordinate)
+
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="one runner: lease cells from a coordinator, stream results",
+    )
+    fleet_run.add_argument("--host", default="127.0.0.1",
+                           help="coordinator address")
+    fleet_run.add_argument("--port", type=int, required=True,
+                           help="coordinator port")
+    fleet_run.add_argument("--runner-id", default="",
+                           help="stable runner identity (default: generated)")
+    fleet_run.add_argument("--workers", type=int, default=0,
+                           help="worker processes inside this runner "
+                           "(0 = execute cells in-process)")
+    fleet_run.add_argument("--max-cells", type=int, default=0,
+                           help="cells per lease request (0 = coordinator's "
+                           "advertised batch)")
+    fleet_run.set_defaults(func=_cmd_fleet_run)
+
+    local = fleet_sub.add_parser(
+        "local",
+        help="coordinator + N runner processes on localhost, one command",
+    )
+    add_grid_args(local)
+    add_output_args(local)
+    local.add_argument("--runners", type=int, default=2,
+                       help="runner processes to spawn")
+    local.add_argument("--workers-per-runner", type=int, default=0,
+                       help="worker processes inside each runner "
+                       "(0 = in-process execution)")
+    local.add_argument("--lease-ttl", type=float, default=5.0,
+                       help="seconds a silent runner holds its cells")
+    local.add_argument("--batch", type=int, default=8,
+                       help="cells per lease grant")
+    local.add_argument("--timeout", type=float, default=None,
+                       help="seconds before the fleet run is abandoned")
+    local.set_defaults(func=_cmd_fleet_local)
 
     sub.add_parser(
         "bench",

@@ -1,0 +1,266 @@
+"""The coordinator's lease state machine — pure, clockless, lock-free.
+
+Every cell in a fleet sweep is in exactly one of three states:
+
+* **pending** — unassigned, waiting in the dispatch queue;
+* **leased** — assigned to one runner under a time-limited lease;
+* **committed** — its canonical result line was accepted (terminal).
+
+The table owns no I/O, no threads and no clock: every mutating call
+takes ``now`` from the caller, which is what makes the whole state
+machine property-testable with synthetic time (see
+``tests/property/test_lease_properties.py``).  The coordinator holds a
+lock around it; the table itself assumes single-threaded access.
+
+Safety and liveness, as the table enforces them:
+
+* **At-most-once commit (safety).**  :meth:`complete` is
+  first-write-wins on ``cell_id``: the first result for a cell commits
+  regardless of who currently holds its lease (a late result from a
+  runner whose lease already expired is still *correct* — records are
+  pure functions of their cells — so it is accepted and the re-dispatch
+  lease revoked); every subsequent delivery is reported as a duplicate
+  and discarded.  No interleaving of grant / renew / expire / death /
+  complete can commit a cell twice.
+* **No lost cells (liveness).**  A cell leaves ``pending`` only into a
+  lease and leaves a lease only by committing or returning to
+  ``pending`` (expiry, runner death, release).  As long as some live
+  runner keeps asking, every cell eventually commits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Lease:
+    """One cell's current assignment."""
+
+    cell_id: str
+    runner_id: str
+    expires_at: float
+    attempts: int = 1  # grants so far, re-dispatches included
+
+
+@dataclass
+class LeaseCounters:
+    """Observability totals the sweep summary reports."""
+
+    runners_registered: int = 0
+    runners_dead: int = 0
+    leases_granted: int = 0
+    leases_renewed: int = 0
+    leases_expired: int = 0
+    cells_redispatched: int = 0
+    results_committed: int = 0
+    duplicates_discarded: int = 0
+    late_accepted: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "runners_registered": self.runners_registered,
+            "runners_dead": self.runners_dead,
+            "leases_granted": self.leases_granted,
+            "leases_renewed": self.leases_renewed,
+            "leases_expired": self.leases_expired,
+            "cells_redispatched": self.cells_redispatched,
+            "results_committed": self.results_committed,
+            "duplicates_discarded": self.duplicates_discarded,
+            "late_accepted": self.late_accepted,
+        }
+
+
+@dataclass
+class LeaseTable:
+    """Pending queue + lease map + committed set for one sweep's cells.
+
+    ``items`` maps ``cell_id -> payload`` (the cell's dict form, shipped
+    verbatim to runners); insertion order of :meth:`add_cells` defines
+    initial dispatch order, so the coordinator feeds cells in canonical
+    grid order and gets deterministic first-pass assignment.
+    """
+
+    ttl: float
+    items: dict[str, dict] = field(default_factory=dict)
+    _pending: deque = field(default_factory=deque)
+    _leases: dict[str, Lease] = field(default_factory=dict)
+    _committed: set = field(default_factory=set)
+    _runners: set = field(default_factory=set)
+    _attempts: dict = field(default_factory=dict)
+    counters: LeaseCounters = field(default_factory=LeaseCounters)
+
+    def __post_init__(self) -> None:
+        if self.ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+
+    # -- population ---------------------------------------------------------
+
+    def add_cells(self, cells) -> None:
+        """Queue cells for dispatch.  ``cells`` yields objects with a
+        ``cell_id`` and ``to_dict()`` (a :class:`~repro.harness.sweep.Cell`)
+        or plain ``{"cell_id": ...}``-bearing dicts; known ids are ignored
+        so resume filtering can stay upstream."""
+
+        for cell in cells:
+            if isinstance(cell, dict):
+                cell_id, payload = cell["cell_id"], cell
+            else:
+                cell_id, payload = cell.cell_id, cell.to_dict()
+            if cell_id in self.items:
+                continue
+            self.items[cell_id] = payload
+            self._pending.append(cell_id)
+
+    # -- runner membership --------------------------------------------------
+
+    def register(self, runner_id: str) -> None:
+        if runner_id in self._runners:
+            return
+        self._runners.add(runner_id)
+        self.counters.runners_registered += 1
+
+    def runner_dead(self, runner_id: str, now: float) -> list[str]:
+        """A runner is gone (disconnect, crash): requeue its leases now
+        rather than waiting out their TTLs.  Returns the requeued ids."""
+
+        if runner_id in self._runners:
+            self._runners.discard(runner_id)
+            self.counters.runners_dead += 1
+        requeued = [
+            lease.cell_id
+            for lease in self._leases.values()
+            if lease.runner_id == runner_id
+        ]
+        for cell_id in requeued:
+            del self._leases[cell_id]
+            self._pending.append(cell_id)
+            self.counters.cells_redispatched += 1
+        return requeued
+
+    # -- the lease lifecycle ------------------------------------------------
+
+    def expire(self, now: float) -> list[str]:
+        """Requeue every lease whose TTL has passed.  Returns the ids."""
+
+        expired = [
+            lease.cell_id
+            for lease in self._leases.values()
+            if now >= lease.expires_at
+        ]
+        for cell_id in expired:
+            del self._leases[cell_id]
+            self._pending.append(cell_id)
+            self.counters.leases_expired += 1
+            self.counters.cells_redispatched += 1
+        return expired
+
+    def grant(self, runner_id: str, now: float, max_cells: int) -> list[dict]:
+        """Lease up to ``max_cells`` pending cells to ``runner_id``.
+
+        Expired leases are swept first, so a grant request from any live
+        runner is also the event that re-dispatches a dead runner's
+        cells — the coordinator needs no dedicated timer for progress.
+        """
+
+        self.expire(now)
+        batch: list[dict] = []
+        while self._pending and len(batch) < max_cells:
+            cell_id = self._pending.popleft()
+            if cell_id in self._committed:  # late-accepted while queued
+                continue
+            attempts = self._attempts.get(cell_id, 0) + 1
+            self._attempts[cell_id] = attempts
+            self._leases[cell_id] = Lease(
+                cell_id=cell_id,
+                runner_id=runner_id,
+                expires_at=now + self.ttl,
+                attempts=attempts,
+            )
+            self.counters.leases_granted += 1
+            batch.append(self.items[cell_id])
+        return batch
+
+    def renew(self, runner_id: str, now: float) -> int:
+        """Extend every lease ``runner_id`` holds (heartbeat).  Any
+        protocol message from a runner renews: a runner that is talking
+        is a runner that is alive.  Returns the number extended."""
+
+        renewed = 0
+        for lease in self._leases.values():
+            if lease.runner_id == runner_id:
+                lease.expires_at = now + self.ttl
+                renewed += 1
+        if renewed:
+            self.counters.leases_renewed += renewed
+        return renewed
+
+    def complete(self, cell_id: str, runner_id: str) -> str:
+        """Accept one result delivery; first write wins.
+
+        Returns ``"committed"`` for the first delivery of a cell,
+        ``"duplicate"`` for every later one, and ``"unknown"`` for a
+        cell id that was never part of this sweep (a misbehaving or
+        misdirected runner — the coordinator discards the line).
+        """
+
+        if cell_id not in self.items:
+            return "unknown"
+        if cell_id in self._committed:
+            self.counters.duplicates_discarded += 1
+            return "duplicate"
+        self._committed.add(cell_id)
+        self.counters.results_committed += 1
+        lease = self._leases.pop(cell_id, None)
+        if lease is None or lease.runner_id != runner_id:
+            # The sender's lease expired (or moved to another runner)
+            # before its result landed: the result is still a pure
+            # function of the cell, so accepting it is safe — and the
+            # current holder's eventual delivery becomes the duplicate.
+            self.counters.late_accepted += 1
+        return "committed"
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def all_committed(self) -> bool:
+        return len(self._committed) == len(self.items)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(1 for cid in self._pending if cid not in self._committed)
+
+    @property
+    def leased_count(self) -> int:
+        return len(self._leases)
+
+    @property
+    def committed_count(self) -> int:
+        return len(self._committed)
+
+    def committed_ids(self) -> set:
+        return set(self._committed)
+
+    def lease_of(self, cell_id: str) -> Lease | None:
+        return self._leases.get(cell_id)
+
+    def check_invariants(self) -> None:
+        """Assert the state partition (test hook; cheap, callable anywhere).
+
+        Committed, leased, and pending are disjoint (modulo committed
+        ids still sitting in the pending deque, which :meth:`grant`
+        skips lazily), and every tracked id belongs to the sweep.
+        """
+
+        leased = set(self._leases)
+        committed = self._committed
+        assert not (leased & committed), "a committed cell still holds a lease"
+        live_pending = {cid for cid in self._pending if cid not in committed}
+        assert not (live_pending & leased), "a leased cell is also pending"
+        universe = set(self.items)
+        assert leased <= universe and committed <= universe
+        assert live_pending <= universe
+        assert live_pending | leased | committed == universe or not self.items, (
+            "cells lost: not pending, not leased, not committed"
+        )

@@ -441,6 +441,7 @@ class ResultStore:
     def __init__(self, path: str) -> None:
         self.path = path
         self._tail_checked = False
+        self._durable_ids: set[str] | None = None  # lazy dedup index
 
     @property
     def bad_path(self) -> str:
@@ -514,6 +515,7 @@ class ResultStore:
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
         self._tail_checked = True  # the rewrite always ends on a newline
+        self._durable_ids = None  # quarantined lines may have held ids
         return len(bad)
 
     def _ensure_trailing_newline(self) -> None:
@@ -576,6 +578,38 @@ class ResultStore:
 
         self.append_line(canonical_record(record))
 
+    def append_record_once(self, cell_id: str, line: str) -> bool:
+        """First-write-wins append keyed on ``cell_id``.
+
+        The store historically assumed a single appender per cell; a
+        fleet coordinator re-dispatching leased cells can receive the
+        same cell's result more than once (late delivery after lease
+        expiry, a runner resending after a cut connection).  The first
+        durable line for a cell wins; every later append for the same
+        id is dropped and the bytes on disk stay untouched.  Quarantine
+        (``status: "failed"``) lines do not claim an id — a later real
+        result must still supersede them, mirroring
+        :meth:`completed_ids`.  Returns whether the line was written.
+        """
+
+        ids = self._dedup_index()
+        if cell_id in ids:
+            return False
+        self.append_line(line)
+        return True
+
+    def _dedup_index(self) -> set[str]:
+        """The ids holding a durable (non-``failed``) record, cached.
+
+        Built lazily from :meth:`completed_ids` on first use and kept
+        coherent by :meth:`append_line` from then on, so resume against
+        an existing store pays one scan, not one per append.
+        """
+
+        if self._durable_ids is None:
+            self._durable_ids = self.completed_ids()
+        return self._durable_ids
+
     def append_line(self, line: str) -> None:
         """Append one pre-canonicalized JSONL line verbatim.
 
@@ -595,6 +629,17 @@ class ResultStore:
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+        if self._durable_ids is not None:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                return
+            if (
+                isinstance(record, dict)
+                and "cell_id" in record
+                and record.get("status") != "failed"
+            ):
+                self._durable_ids.add(record["cell_id"])
 
 
 # ---------------------------------------------------------------------------
@@ -612,6 +657,7 @@ class SweepOutcome:
     skipped: int
     records: list[dict] = field(default_factory=list)
     recovered: int = 0
+    fleet: dict | None = None  # lease/registration counters (fleet backend)
 
     def sorted_records(self) -> list[dict]:
         """Records in canonical (cell_id) order — the aggregation input."""
@@ -627,6 +673,8 @@ def run_sweep(
     trace_mode: str = "bounded",
     executor: "SweepExecutor | None" = None,
     chunksize: int = 0,
+    backend: str = "local",
+    fleet_options: dict | None = None,
 ) -> SweepOutcome:
     """Expand ``spec`` and execute every not-yet-recorded cell.
 
@@ -653,8 +701,20 @@ def run_sweep(
     log).  Records do not embed the mode because metrics are
     retention-independent — resuming a ``full`` store with ``bounded``
     cells, or vice versa, is safe.
+
+    ``backend`` picks the execution fabric behind the same interface:
+    ``"local"`` (this process tree: serial, throwaway pool, or the
+    given ``executor``) or ``"fleet"`` (a localhost coordinator/runner
+    fleet — ``workers`` becomes the runner-process count and
+    ``fleet_options`` passes through to
+    :func:`repro.fleet.local.run_fleet_local`).  Both backends honour
+    resume against ``store`` and produce byte-identical record sets —
+    the fleet adds its lease/re-dispatch counters as
+    :attr:`SweepOutcome.fleet`.
     """
 
+    if backend not in ("local", "fleet"):
+        raise ValueError(f"unknown sweep backend {backend!r}")
     cells = spec.expand()
     recovered = store.recover() if store is not None else 0
     done = store.completed_ids() if store is not None else set()
@@ -670,7 +730,30 @@ def run_sweep(
         if progress is not None:
             progress(record)
 
-    if executor is not None and todo:
+    fleet_counters: dict | None = None
+    if backend == "fleet":
+        from repro.fleet.local import run_fleet_local
+
+        def fleet_commit(line: str) -> None:
+            # The coordinator appends committed lines to the store
+            # itself (first-write-wins under its lock); this callback
+            # only mirrors them into the in-memory outcome.
+            record = json.loads(line)
+            fresh.append(record)
+            if progress is not None:
+                progress(record)
+
+        if todo:
+            summary = run_fleet_local(
+                todo,
+                store=store,
+                runners=max(1, workers),
+                trace_mode=trace_mode,
+                on_commit=fleet_commit,
+                **(fleet_options or {}),
+            )
+            fleet_counters = summary.counters
+    elif executor is not None and todo:
         for line in executor.map_cells(todo, trace_mode):
             consume_line(line)
     elif workers <= 1 or len(todo) <= 1:
@@ -692,4 +775,5 @@ def run_sweep(
         skipped=len(cells) - len(todo),
         records=[records[cid] for cid in sorted(wanted & set(records))],
         recovered=recovered,
+        fleet=fleet_counters,
     )
