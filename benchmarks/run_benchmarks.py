@@ -52,6 +52,15 @@ so the gap to ``sweep.cells_per_sec_grid32`` is the lease/wire
 overhead.  Real-process numbers are noisier than in-process ones — gate
 this family generously (``--tolerance 'fleet.*=0.9'``).
 
+The ``snapshot.*`` family measures the snapshot/fork engine: captures
+per second of a warmed n=8 run (``snapshot.save_n8``), forked
+continuations vs the same scenario replayed from genesis
+(``snapshot.fork_n8`` / ``snapshot.genesis_n8``, with their ratio as
+``snapshot.fork_vs_genesis_n8``), and the harness-level fork grid —
+32 cells sharing long warm-up prefixes, run with 2 workers through the
+snapshot cache tier (``sweep.fork_grid_w2``) and from genesis
+(``sweep.fork_grid_w2_genesis``; ratio ``sweep.fork_grid_speedup``).
+
 ``--profile OP`` runs cProfile over one chosen benchmark instead of
 measuring, printing the top-N entries by cumulative and internal time —
 the starting point for any future perf PR.
@@ -422,6 +431,164 @@ def _timed(fn: Callable[[], object]) -> float:
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+SNAPSHOT_FAMILY_OPS = (
+    "snapshot.save_n8",
+    "snapshot.fork_n8",
+    "snapshot.genesis_n8",
+    "snapshot.fork_vs_genesis_n8",
+    "sweep.fork_grid_w2",
+    "sweep.fork_grid_w2_genesis",
+    "sweep.fork_grid_speedup",
+)
+
+
+def _fork_grid_spec():
+    """The 32-cell fork grid: one long warm-up shared per seed.
+
+    n=8 over 24 views with a crash-ablation fault axis whose windows all
+    open at view 22 — every cell forks its seed's stored prefix at view
+    22 and simulates only the two-view tail, so the snapshot tier's win
+    is the shared 22-view warm-up.  ``warmup_views=22`` pulls the
+    fault-free arm onto the same boundary.
+    """
+
+    from repro.harness.sweep import ExperimentSpec
+
+    def arm(**overrides):
+        fields = {"crash_count": 1, "crash_view": 22, "crash_deltas": 4}
+        fields.update(overrides)
+        return json.dumps(fields, sort_keys=True, separators=(",", ":"))
+
+    return ExperimentSpec(
+        name="bench-fork-grid",
+        protocols=("tobsvd",),
+        ns=(8,),
+        fs=(0,),
+        deltas=(2,),
+        participations=("stable",),
+        seeds=4,
+        num_views=24,
+        txs_per_cell=4,
+        fault_specs=(
+            "",
+            arm(),
+            arm(crash_count=2),
+            arm(crash_deltas=2),
+            arm(crash_deltas=8),
+            arm(seed=1),
+            arm(seed=2),
+            arm(crash_count=2, seed=1),
+        ),
+    )
+
+
+def _measure_snapshot_family(smoke: bool, only: str | None = None) -> dict[str, float]:
+    """Snapshot/fork engine benchmarks.
+
+    The micro trio warms one n=8 run to view 8 of 12 and measures
+    capture+serialize cost, forked-continuation throughput, and the
+    from-genesis reference; their ratio is the per-run fork speedup.
+    The grid trio runs :func:`_fork_grid_spec` through a warm 2-worker
+    executor with and without the snapshot tier (stores primed by an
+    untimed pass, so the timed passes measure steady-state fork reuse —
+    the sweep-resume / ablation-grid workload).
+    """
+
+    import tempfile
+
+    from repro.chain.transactions import TransactionPool
+    from repro.harness import stable_scenario
+    from repro.harness.executor import SweepExecutor
+    from repro.harness.sweep import run_sweep
+    from repro.snapshot import capture, fork, warm_snapshot
+
+    def wanted(name: str) -> bool:
+        return only is None or only in name
+
+    results: dict[str, float] = {}
+    target = 0.02 if smoke else 0.2
+    repeats = 1 if smoke else 3
+
+    def build():
+        return stable_scenario(
+            n=8, num_views=12, delta=2, seed=0,
+            pool=TransactionPool(), trace_mode="bounded",
+        )
+
+    micro_names = (
+        "snapshot.save_n8",
+        "snapshot.fork_n8",
+        "snapshot.genesis_n8",
+        "snapshot.fork_vs_genesis_n8",
+    )
+    if any(wanted(name) for name in micro_names):
+        # One warm-up serves both ops: the protocol stays parked at the
+        # fork tick (capture is pure serialization), and the snapshot it
+        # produced thaws into every forked continuation.
+        warmed = build()
+        snap = warm_snapshot(warmed, "bench|fork-n8", 8)
+        if wanted("snapshot.save_n8"):
+            results["snapshot.save_n8"] = round(
+                _measure(
+                    lambda: capture(warmed, "bench|fork-n8", 8).to_bytes(),
+                    target_seconds=target,
+                    repeats=repeats,
+                ),
+                2,
+            )
+        need_ratio = wanted("snapshot.fork_vs_genesis_n8")
+        fork_rate = genesis_rate = None
+        if wanted("snapshot.fork_n8") or need_ratio:
+
+            def run_fork():
+                forked = fork(snap)
+                forked.advance(forked.config.horizon)
+                return forked.finish()
+
+            fork_rate = _measure(run_fork, target_seconds=target, repeats=repeats)
+            results["snapshot.fork_n8"] = round(fork_rate, 2)
+        if wanted("snapshot.genesis_n8") or need_ratio:
+            genesis_rate = _measure(
+                lambda: build().run(), target_seconds=target, repeats=repeats
+            )
+            results["snapshot.genesis_n8"] = round(genesis_rate, 2)
+        if need_ratio and fork_rate and genesis_rate:
+            results["snapshot.fork_vs_genesis_n8"] = round(
+                fork_rate / genesis_rate, 2
+            )
+
+    grid_names = (
+        "sweep.fork_grid_w2",
+        "sweep.fork_grid_w2_genesis",
+        "sweep.fork_grid_speedup",
+    )
+    if any(wanted(name) for name in grid_names):
+        spec = _fork_grid_spec()
+        count = len(spec.expand())
+        passes = 1 if smoke else 2
+        with SweepExecutor(workers=2) as executor:
+            executor.warmup()
+            run_sweep(spec, executor=executor)  # untimed priming pass
+            best_genesis = min(
+                _timed(lambda: run_sweep(spec, executor=executor))
+                for _ in range(passes)
+            )
+            with tempfile.TemporaryDirectory() as snapdir:
+                kwargs = dict(
+                    executor=executor, snapshot_dir=snapdir, warmup_views=22
+                )
+                run_sweep(spec, **kwargs)  # untimed: pays the saves
+                best_fork = min(
+                    _timed(lambda: run_sweep(spec, **kwargs))
+                    for _ in range(passes)
+                )
+        results["sweep.fork_grid_w2_genesis"] = round(count / best_genesis, 2)
+        results["sweep.fork_grid_w2"] = round(count / best_fork, 2)
+        results["sweep.fork_grid_speedup"] = round(best_genesis / best_fork, 2)
+
+    return {name: value for name, value in results.items() if wanted(name)}
 
 
 FLEET_FAMILY_OPS = ("fleet.cells_per_sec_w2",)
@@ -800,6 +967,9 @@ def main(argv: list[str] | None = None) -> int:
     fleet_family_wanted = args.only is None or any(
         args.only in name for name in FLEET_FAMILY_OPS
     )
+    snapshot_family_wanted = args.only is None or any(
+        args.only in name for name in SNAPSHOT_FAMILY_OPS
+    )
     if args.only:
         ops = {name: fn for name, fn in ops.items() if args.only in name}
         if (
@@ -807,6 +977,7 @@ def main(argv: list[str] | None = None) -> int:
             and not sweep_family_wanted
             and not fault_family_wanted
             and not fleet_family_wanted
+            and not snapshot_family_wanted
         ):
             print(f"error: --only {args.only!r} matches no ops", file=sys.stderr)
             return 2
@@ -839,6 +1010,18 @@ def main(argv: list[str] | None = None) -> int:
         for name, value in fleet_results.items():
             print(f"{name:40s} {value:>14,.1f} cells/sec", flush=True)
         results.update(fleet_results)
+
+    if snapshot_family_wanted:
+        snapshot_results = _measure_snapshot_family(args.smoke, args.only)
+        for name, value in snapshot_results.items():
+            if "speedup" in name or "_vs_" in name:
+                unit = "x"
+            elif name.startswith("sweep."):
+                unit = "cells/sec"
+            else:
+                unit = "ops/sec"
+            print(f"{name:40s} {value:>14,.1f} {unit}", flush=True)
+        results.update(snapshot_results)
 
     fault_overhead_pct: float | None = None
     if fault_family_wanted:

@@ -23,6 +23,7 @@ ahead of the run, which is how :func:`plan_leader_corruption` builds the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.chain.transactions import Transaction
 from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol, TobSvdValidator
@@ -100,7 +101,7 @@ class LeaderKillerDriver:
             self._protocol.simulator.schedule(
                 kill.effective_at,
                 EventPriority.TIMER,
-                lambda k=kill: self._equivocate(k),
+                partial(self._equivocate, kill),
                 note=f"leader-kill-{kill.view}",
             )
 

@@ -14,6 +14,7 @@ the (5Δ, 2Δ, ½)-sleepy model; the integration tests assert exactly that.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.chain.log import Log
@@ -103,10 +104,14 @@ class TobEquivocatingProposer(_TobByzantineBase):
     """
 
     def setup(self) -> None:
-        for view in range(self._config.num_views):
+        self.extend_views(0, self._config.num_views)
+
+    def extend_views(self, first_view: int, num_views: int) -> None:
+        self._config = self._context.config  # refreshed on horizon extension
+        for view in range(first_view, num_views):
             self.at(
                 self._time.view_start(view),
-                lambda v=view: self._attack_view(v),
+                partial(self._attack_view, view),
                 note=f"byz-equivocate-{view}",
             )
 
@@ -151,11 +156,15 @@ class TobDoubleVoter(_TobByzantineBase):
     """
 
     def setup(self) -> None:
+        self.extend_views(0, self._config.num_views)
+
+    def extend_views(self, first_view: int, num_views: int) -> None:
+        self._config = self._context.config  # refreshed on horizon extension
         delta = self._config.delta
-        for view in range(self._config.num_views):
+        for view in range(first_view, num_views):
             self.at(
                 self._time.view_start(view) + delta,
-                lambda v=view: self._attack_view(v),
+                partial(self._attack_view, view),
                 note=f"byz-double-vote-{view}",
             )
 

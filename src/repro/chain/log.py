@@ -185,6 +185,31 @@ class Log:
         self._prefixes = prefixes
         return prefixes
 
+    # -- serialization -----------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle only the blocks and the parent link.
+
+        Everything else — ``_ids_inner`` (O(chain) bytes per log, the
+        bulk of a mid-run snapshot), ``_log_id``, and the lazy caches —
+        is derivable, so shipping it would only bloat blobs.  The parent
+        link keeps id re-derivation incremental on load and preserves
+        the prefix-sharing topology of the thawed graph.  Interning pins
+        (``_token_ctx``/``_token``) are dropped: tokens are keyed by
+        digest in the run's own (pickled) table, so thawed logs re-read
+        the same values on first touch.
+        """
+
+        return (self._blocks, self._parent)
+
+    def __setstate__(self, state) -> None:
+        blocks, parent = state
+        if parent is not None and len(parent._blocks) == len(blocks) - 1:
+            ids_inner = parent._ids_inner + canonical_str(blocks[-1].block_id)
+        else:
+            ids_inner = b"".join(canonical_str(b.block_id) for b in blocks)
+        self._finish_init(blocks, ids_inner, parent)
+
     # -- basic accessors ---------------------------------------------------
 
     @property

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Six subcommands front the experiment subsystem:
+Eight subcommands front the experiment subsystem:
 
 * ``run`` — execute one named scenario under a chosen trace-retention
   policy (``--trace full|bounded|off``, default bounded) and print live
@@ -17,6 +17,11 @@ Six subcommands front the experiment subsystem:
   a grid to remote runners over TCP, ``fleet run`` is one runner
   process, and ``fleet local --runners N`` does both on localhost in a
   single command;
+* ``snapshot`` — checkpoint a warmed run at a view boundary
+  (``snapshot save``), resume it under divergent continuations
+  (``snapshot fork``), and inspect a store (``snapshot ls``);
+* ``bisect`` — binary-search the first view where a predicate fails,
+  forking snapshots instead of replaying warm-ups from genesis;
 * ``bench`` — the machine-readable micro/e2e benchmark harness
   (delegates to ``benchmarks/run_benchmarks.py``).
 
@@ -58,12 +63,43 @@ def _parse_list(text: str, cast: Callable = str) -> tuple:
 # ---------------------------------------------------------------------------
 
 
+def _parse_fault_specs(text: str) -> tuple:
+    """``--fault-specs`` value: a JSON list (inline or ``@path``).
+
+    Each element is either ``null``/``""`` (the no-fault arm) or a
+    :class:`~repro.faults.FaultSpec` dict; dict entries are serialized
+    compactly here and canonicalized by the spec's own validation.
+    """
+
+    if text.startswith("@"):
+        with open(text[1:], encoding="utf-8") as fh:
+            data = json.load(fh)
+    else:
+        data = json.loads(text)
+    if not isinstance(data, list) or not data:
+        raise SystemExit("error: --fault-specs must be a non-empty JSON list")
+    entries = []
+    for item in data:
+        if item in (None, ""):
+            entries.append("")
+        elif isinstance(item, dict):
+            entries.append(json.dumps(item, sort_keys=True, separators=(",", ":")))
+        else:
+            raise SystemExit(
+                "error: --fault-specs entries must be FaultSpec objects or null"
+            )
+    return tuple(entries)
+
+
 def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
     """Build the spec from ``--spec FILE`` or inline grid flags."""
 
     if args.spec:
         with open(args.spec, encoding="utf-8") as fh:
             return ExperimentSpec.from_dict(json.load(fh))
+    fault_specs = ("",)
+    if getattr(args, "fault_specs", None):
+        fault_specs = _parse_fault_specs(args.fault_specs)
     return ExperimentSpec(
         name=args.name,
         protocols=_parse_list(args.protocols),
@@ -75,6 +111,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         seeds=args.seeds,
         num_views=args.views,
         txs_per_cell=args.txs,
+        fault_specs=fault_specs,
     )
 
 
@@ -131,7 +168,21 @@ def _print_fleet_counters(counters: dict) -> None:
         f"{counters['leases_granted']} leases granted, "
         f"{counters['leases_expired']} expired, "
         f"{counters['cells_redispatched']} cells re-dispatched, "
-        f"{counters['duplicates_discarded']} duplicates discarded"
+        f"{counters['duplicates_discarded']} duplicates discarded, "
+        f"{counters.get('leases_affinity_matched', 0)} affinity-matched"
+    )
+
+
+def _print_cache_counters(cache: dict) -> None:
+    """The three-tier cache epilogue line (prebuild + snapshot tiers)."""
+
+    prebuild = cache.get("prebuild", {})
+    snap = cache.get("snapshot", {})
+    print(
+        f"  caches: prebuild {prebuild.get('hits', 0)} hits / "
+        f"{prebuild.get('misses', 0)} misses; "
+        f"snapshots {snap.get('hits', 0)} hits / {snap.get('misses', 0)} misses, "
+        f"{snap.get('saves', 0)} saved, {snap.get('forks', 0)} forks"
     )
 
 
@@ -182,6 +233,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             progress=progress,
             trace_mode=args.trace,
             executor=executor,
+            snapshot_dir=args.snapshot_dir,
+            warmup_views=args.warmup_views,
         )
     finally:
         if executor is not None:
@@ -191,6 +244,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"sweep '{spec.name}': {outcome.total_cells} cells, "
         f"{outcome.executed} executed, {outcome.skipped} resumed-skip{recovered}"
     )
+    if outcome.cache is not None:
+        _print_cache_counters(outcome.cache)
     if executor is not None and (
         executor.retries_attempted
         or executor.cells_quarantined
@@ -316,11 +371,91 @@ class _LiveReducerStats:
         )
 
 
+def _load_snapshot_ref(ref: str, store_dir: str):
+    """Resolve ``ref`` as a ``.snap`` file path, else as an id in ``store_dir``."""
+
+    from repro.snapshot import Snapshot, SnapshotError, SnapshotStore
+
+    path = Path(ref)
+    if path.is_file():
+        try:
+            return Snapshot.from_bytes(path.read_bytes())
+        except SnapshotError as exc:
+            raise SystemExit(f"error: {ref}: {exc}") from None
+    store = SnapshotStore(store_dir)
+    snapshot = store.get(ref)
+    if snapshot is None:
+        raise SystemExit(
+            f"error: snapshot {ref!r} not found (no such file, and "
+            f"{store.path_for(ref)} does not exist)"
+        )
+    return snapshot
+
+
+def _report_resumed(protocol, result, elapsed: float) -> int:
+    """Post-run summary for a forked continuation (run/snapshot commands)."""
+
+    config = protocol.config
+    analysis = protocol.observability.analysis
+    print(f"finished in {elapsed:.2f}s "
+          f"({result.simulator.now} ticks simulated)")
+    stats = result.network.stats
+    print(f"  deliveries:            {stats.weighted_deliveries} weighted")
+    if analysis is None:
+        print("  (tracing off in the saved run: network totals only)")
+        return 0
+    latency = analysis.latency()
+    mean = latency.mean_deltas(config.delta)
+    print(f"  decided blocks:        {analysis.new_blocks}/{config.num_views}")
+    print(f"  safety holds:          {analysis.safety().safe}")
+    faults = analysis.fault_summary()
+    if any(faults.values()):
+        print(f"  injected faults:       {faults['crashes']} crashes, "
+              f"{faults['recoveries']} recoveries, "
+              f"{faults['partitions']} partitions, {faults['heals']} heals")
+    print(f"  confirmed txs:         {latency.samples}")
+    if mean is not None:
+        print(f"  latency mean/min/max:  {mean:.2f}Δ / "
+              f"{latency.min_ticks / config.delta:.2f}Δ / "
+              f"{latency.max_ticks / config.delta:.2f}Δ")
+    return 0 if analysis.safety().safe else 1
+
+
+def _run_from_snapshot(args: argparse.Namespace) -> int:
+    """``repro run --from-snapshot``: resume a saved prefix to the horizon."""
+
+    import time as _time
+
+    from repro.snapshot import SnapshotError, fork
+
+    snapshot = _load_snapshot_ref(args.from_snapshot, args.snapshot_dir)
+    meta = snapshot.meta
+    fault_spec = _parse_fault_spec(args.faults) if args.faults else None
+    try:
+        protocol = fork(
+            snapshot, fault_spec=fault_spec, num_views=args.extend_views
+        )
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"run from snapshot {meta.snapshot_id}: forked at view {meta.view} "
+          f"(t={meta.tick}) n={meta.n} Δ={meta.delta} "
+          f"views={protocol.config.num_views} trace={meta.trace_mode}")
+    started = _time.perf_counter()
+    protocol.advance(protocol.config.horizon)
+    result = protocol.finish()
+    return _report_resumed(
+        protocol, result, max(_time.perf_counter() - started, 1e-9)
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import time as _time
 
     from repro.chain.transactions import TransactionPool
 
+    if args.from_snapshot:
+        return _run_from_snapshot(args)
     pool = TransactionPool()
     protocol = _build_scenario(args, pool, trace_mode=args.trace)
     observability = protocol.observability
@@ -436,6 +571,189 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# snapshot / bisect
+# ---------------------------------------------------------------------------
+
+
+def _cli_scenario_key(args: argparse.Namespace, trace_mode: str) -> str:
+    """Canonical scenario identity for CLI-saved snapshots.
+
+    Mirrors the arguments that shape the warm-up prefix; the seed is
+    carried separately in the recipe address (``snapshot_id``).
+    """
+
+    byz = (
+        f"|f={args.f}|attacker={args.attacker}"
+        if args.family == "equivocating"
+        else ""
+    )
+    faults = ""
+    if getattr(args, "faults", None):
+        spec = _parse_fault_spec(args.faults)
+        faults = f"|faults={json.dumps(spec.to_dict(), sort_keys=True, separators=(',', ':'))}"
+    return (
+        f"cli|{args.family}{byz}|n={args.n}|delta={args.delta}"
+        f"|views={args.views}{faults}|trace={trace_mode}"
+    )
+
+
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    """Warm one scenario to a view boundary and store the snapshot."""
+
+    import time as _time
+
+    from repro.chain.transactions import TransactionPool
+    from repro.snapshot import SnapshotError, SnapshotStore, warm_snapshot
+
+    pool = TransactionPool()
+    protocol = _build_scenario(args, pool, trace_mode=args.trace)
+    view_ticks = protocol.config.time.view_ticks
+    # Same anchored-transaction fixture as ``repro run``, so a forked
+    # continuation is comparable with an uninterrupted ``run``.
+    txs = _submit_anchored_txs(pool, args.views, view_ticks, "run")
+    analysis = protocol.observability.analysis
+    if analysis is not None:
+        for tx in txs:
+            analysis.watch(tx)
+    started = _time.perf_counter()
+    try:
+        snapshot = warm_snapshot(
+            protocol, _cli_scenario_key(args, args.trace), args.at_view,
+            seed=args.seed,
+        )
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = _time.perf_counter() - started
+    meta = snapshot.meta
+    if args.file:
+        Path(args.file).write_bytes(snapshot.to_bytes())
+        where = args.file
+    else:
+        where = str(SnapshotStore(args.dir).put(snapshot))
+    print(f"saved {meta.snapshot_id} -> {where}")
+    print(f"  {args.family}: n={args.n} Δ={args.delta} views={args.views} "
+          f"seed={args.seed} trace={args.trace}")
+    print(f"  captured before view {meta.view} (t={meta.tick}) "
+          f"in {elapsed:.2f}s, {len(snapshot.payload):,} payload bytes")
+    return 0
+
+
+def _cmd_snapshot_fork(args: argparse.Namespace) -> int:
+    """Resume a saved snapshot under continuation overrides."""
+
+    import time as _time
+
+    from repro.snapshot import SnapshotError, fork
+
+    snapshot = _load_snapshot_ref(args.snapshot, args.dir)
+    meta = snapshot.meta
+    fault_spec = _parse_fault_spec(args.faults) if args.faults else None
+    corrupt = None
+    if args.corrupt:
+        corrupt = {}
+        for part in args.corrupt.split(","):
+            vid, _, tick = part.strip().partition("@")
+            if not tick:
+                raise SystemExit(
+                    "error: --corrupt wants VALIDATOR@TICK[,VALIDATOR@TICK...]"
+                )
+            corrupt[int(vid)] = int(tick)
+    try:
+        protocol = fork(
+            snapshot,
+            fault_spec=fault_spec,
+            num_views=args.extend_views,
+            corrupt=corrupt,
+        )
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"fork {meta.snapshot_id}: resumed at view {meta.view} (t={meta.tick}) "
+          f"n={meta.n} Δ={meta.delta} views={protocol.config.num_views}")
+    started = _time.perf_counter()
+    protocol.advance(protocol.config.horizon)
+    result = protocol.finish()
+    return _report_resumed(
+        protocol, result, max(_time.perf_counter() - started, 1e-9)
+    )
+
+
+def _cmd_snapshot_ls(args: argparse.Namespace) -> int:
+    """List every snapshot header in a store directory."""
+
+    from repro.snapshot import SnapshotStore
+
+    if not Path(args.dir).is_dir():
+        print(f"error: {args.dir}: no such directory", file=sys.stderr)
+        return 1
+    store = SnapshotStore(args.dir)
+    metas = store.metas()
+    if not metas:
+        print(f"(no snapshots in {args.dir})")
+        return 0
+    print(f"{'id':<16}  {'view':>4}  {'tick':>8}  {'n':>3}  {'views':>5}  "
+          f"{'Δ':>2}  {'seed':>6}  scenario")
+    for meta in metas:
+        size = store.path_for(meta.snapshot_id).stat().st_size
+        print(f"{meta.snapshot_id:<16}  {meta.view:>4}  {meta.tick:>8}  "
+              f"{meta.n:>3}  {meta.num_views:>5}  {meta.delta:>2}  "
+              f"{meta.seed:>6}  {meta.scenario_key}  ({size:,}B)")
+    return 0
+
+
+def _cmd_bisect(args: argparse.Namespace) -> int:
+    """Binary-search the first bad view of a deterministic run.
+
+    Probes fork from the nearest captured snapshot instead of replaying
+    from genesis; with ``--snapshot-dir`` the captures persist across
+    invocations, so re-bisecting a tweaked predicate is nearly free.
+    """
+
+    from repro.analysis.metrics import check_safety, count_new_blocks
+    from repro.chain.transactions import TransactionPool
+    from repro.snapshot import SnapshotStore, bisect_views
+
+    def make_protocol():
+        # Full retention: predicates read the complete event trace.
+        return _build_scenario(args, TransactionPool(), trace_mode="full")
+
+    view_ticks = make_protocol().config.time.view_ticks
+    if args.check == "safety":
+        def predicate(result) -> bool:
+            return check_safety(result.trace).safe
+    else:
+        # Progress: every elapsed view decided a block.  A view's decision
+        # lands during the *following* view (confirmation latency exceeds
+        # one view), so the boundary after view v expects v decided blocks
+        # — views 0..v-1 done, view v still in flight.
+        def predicate(result) -> bool:
+            views_elapsed = (result.simulator.now + 1) // view_ticks
+            return count_new_blocks(result.trace) >= views_elapsed - 1
+
+    store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    scenario_key = _cli_scenario_key(args, "full")
+    print(f"bisect {args.family}: n={args.n} Δ={args.delta} "
+          f"views={args.views} seed={args.seed} check={args.check}")
+    report = bisect_views(
+        make_protocol, args.views, predicate,
+        scenario_key=scenario_key, store=store,
+    )
+    for probe in report.probes:
+        basis = f"v{probe.forked_from}" if probe.forked_from else "genesis"
+        verdict = "good" if probe.good else "BAD"
+        print(f"  probe end-of-view {probe.view:>3} (from {basis}): {verdict}")
+    genesis_cost = sum(probe.view + 1 for probe in report.probes)
+    print(f"  views replayed: {report.views_replayed} "
+          f"(from-genesis bisection would replay {genesis_cost})")
+    if report.first_bad_view is None:
+        print(f"all {args.views} views satisfy '{args.check}'")
+        return 0
+    print(f"first bad view: {report.first_bad_view}")
+    return 1
+
+
+# ---------------------------------------------------------------------------
 # fleet
 # ---------------------------------------------------------------------------
 
@@ -509,6 +827,8 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         runner_id=args.runner_id,
         workers=args.workers,
         max_cells=args.max_cells,
+        snapshot_dir=args.snapshot_dir,
+        warmup_views=args.warmup_views,
     )
     print(f"runner {runner.runner_id} -> {args.host}:{args.port} "
           f"(workers={args.workers or 'in-process'})", flush=True)
@@ -546,6 +866,8 @@ def _cmd_fleet_local(args: argparse.Namespace) -> int:
                 "batch_size": args.batch,
                 "timeout": args.timeout,
             },
+            snapshot_dir=args.snapshot_dir,
+            warmup_views=args.warmup_views,
         )
     except FleetError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -633,6 +955,11 @@ def build_parser() -> argparse.ArgumentParser:
         target.add_argument("--views", type=int, default=8, help="views per run")
         target.add_argument("--txs", type=int, default=8,
                             help="transactions per cell")
+        target.add_argument("--fault-specs", default=None, metavar="JSON|@FILE",
+                            help="JSON list of FaultSpec objects (null entries "
+                            "= the no-fault arm) adding a fault axis to the "
+                            "grid's tobsvd cells; crash-only specs fork from "
+                            "warm snapshots when --snapshot-dir is set")
 
     def add_output_args(target: argparse.ArgumentParser) -> None:
         """Result-store and aggregate-rendering flags (sweep and fleet)."""
@@ -676,13 +1003,20 @@ def build_parser() -> argparse.ArgumentParser:
                        "combine with --retries >= 1)")
     sweep.add_argument("--chaos-seed", type=int, default=0,
                        help="seed for chaos kill decisions")
+    sweep.add_argument("--snapshot-dir", default=None,
+                       help="warm-snapshot store directory (cache tier three: "
+                       "cells sharing a warm-up prefix run it once and fork); "
+                       "records are byte-identical with the tier on or off")
+    sweep.add_argument("--warmup-views", type=int, default=None,
+                       help="force a snapshot boundary this many views in for "
+                       "fault-free tobsvd cells (needs --snapshot-dir)")
     sweep.set_defaults(func=_cmd_sweep)
 
     run = sub.add_parser(
         "run",
         help="execute one scenario with live streaming-reducer stats",
     )
-    run.add_argument("family",
+    run.add_argument("family", nargs="?", default="stable",
                      choices=("stable", "equivocating", "churn", "late-join",
                               "bursty", "crash", "partition"))
     run.add_argument("--n", type=int, default=8)
@@ -702,7 +1036,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--faults", default=None, metavar="JSON|@FILE",
                      help="FaultSpec as inline JSON or @path to a JSON file "
                      "(stable, crash, and partition families); compiled "
-                     "deterministically from the spec and seed")
+                     "deterministically from the spec and seed — with "
+                     "--from-snapshot, applied as a crash-only fork override")
+    run.add_argument("--from-snapshot", default=None, metavar="FILE|ID",
+                     help="skip the warm-up: resume a saved snapshot "
+                     "(a .snap file path, or an id in --snapshot-dir) "
+                     "instead of building the scenario; the family "
+                     "argument is ignored")
+    run.add_argument("--snapshot-dir", default="snapshots",
+                     help="store directory ids given to --from-snapshot "
+                     "resolve against")
+    run.add_argument("--extend-views", type=int, default=None,
+                     help="with --from-snapshot: extend the resumed run's "
+                     "horizon to this many views")
     run.set_defaults(func=_cmd_run)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
@@ -723,6 +1069,91 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--attacker", default="equivocating-proposer",
                           choices=ATTACKERS)
     scenario.set_defaults(func=_cmd_scenario)
+
+    def add_family_args(target: argparse.ArgumentParser,
+                        default_views: int = 8) -> None:
+        """Scenario-shape flags shared by snapshot save and bisect."""
+
+        target.add_argument("family", nargs="?", default="stable",
+                            choices=("stable", "equivocating", "churn",
+                                     "late-join", "bursty", "crash",
+                                     "partition"))
+        target.add_argument("--n", type=int, default=8)
+        target.add_argument("--f", type=int, default=3,
+                            help="Byzantine count (equivocating only)")
+        target.add_argument("--views", type=int, default=default_views)
+        target.add_argument("--delta", type=int, default=2)
+        target.add_argument("--seed", type=int, default=0)
+        target.add_argument("--attacker", default="equivocating-proposer",
+                            choices=ATTACKERS)
+        target.add_argument("--faults", default=None, metavar="JSON|@FILE",
+                            help="FaultSpec as inline JSON or @path "
+                            "(stable, crash, and partition families)")
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="checkpoint warmed runs and fork continuations off them",
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+
+    snap_save = snap_sub.add_parser(
+        "save", help="warm a scenario to a view boundary and save the state"
+    )
+    add_family_args(snap_save, default_views=16)
+    snap_save.add_argument("--at-view", type=int, required=True,
+                           help="capture one tick before this view's propose "
+                           "phase (1..views)")
+    snap_save.add_argument("--dir", default="snapshots",
+                           help="snapshot store directory (content-addressed)")
+    snap_save.add_argument("--file", default=None,
+                           help="write the blob to this exact path instead "
+                           "of the store")
+    snap_save.add_argument("--trace", choices=("full", "bounded"),
+                           default="bounded",
+                           help="event retention captured inside the snapshot")
+    snap_save.set_defaults(func=_cmd_snapshot_save)
+
+    snap_fork = snap_sub.add_parser(
+        "fork", help="resume a saved snapshot under continuation overrides"
+    )
+    snap_fork.add_argument("snapshot",
+                           help=".snap file path, or an id in --dir")
+    snap_fork.add_argument("--dir", default="snapshots",
+                           help="store directory ids resolve against")
+    snap_fork.add_argument("--faults", default=None, metavar="JSON|@FILE",
+                           help="crash-only FaultSpec applied to the "
+                           "continuation (windows must start after the "
+                           "fork tick)")
+    snap_fork.add_argument("--extend-views", type=int, default=None,
+                           help="extend the resumed run's horizon to this "
+                           "many views")
+    snap_fork.add_argument("--corrupt", default=None,
+                           metavar="VID@TICK[,VID@TICK...]",
+                           help="corrupt validators at post-fork ticks "
+                           "(what-if exploration)")
+    snap_fork.set_defaults(func=_cmd_snapshot_fork)
+
+    snap_ls = snap_sub.add_parser(
+        "ls", help="list the snapshots in a store directory"
+    )
+    snap_ls.add_argument("--dir", default="snapshots")
+    snap_ls.set_defaults(func=_cmd_snapshot_ls)
+
+    bisect = sub.add_parser(
+        "bisect",
+        help="binary-search the first bad view, forking snapshots "
+        "instead of replaying from genesis",
+    )
+    add_family_args(bisect, default_views=16)
+    bisect.add_argument("--check", choices=("safety", "progress"),
+                        default="progress",
+                        help="predicate probed at view boundaries: safety "
+                        "(no conflicting decisions) or progress (every "
+                        "elapsed view decided a block)")
+    bisect.add_argument("--snapshot-dir", default=None,
+                        help="persist probe snapshots here, so re-bisecting "
+                        "the same run is nearly free")
+    bisect.set_defaults(func=_cmd_bisect)
 
     fleet = sub.add_parser(
         "fleet",
@@ -769,6 +1200,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--max-cells", type=int, default=0,
                            help="cells per lease request (0 = coordinator's "
                            "advertised batch)")
+    fleet_run.add_argument("--snapshot-dir", default=None,
+                           help="this host's warm-snapshot store; its ids "
+                           "are advertised at register so the coordinator "
+                           "prefers leasing cells they cover")
+    fleet_run.add_argument("--warmup-views", type=int, default=None,
+                           help="force a snapshot boundary for fault-free "
+                           "cells (needs --snapshot-dir)")
     fleet_run.set_defaults(func=_cmd_fleet_run)
 
     local = fleet_sub.add_parser(
@@ -788,6 +1226,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cells per lease grant")
     local.add_argument("--timeout", type=float, default=None,
                        help="seconds before the fleet run is abandoned")
+    local.add_argument("--snapshot-dir", default=None,
+                       help="shared warm-snapshot store for every runner "
+                       "(cells sharing a warm-up prefix fork instead of "
+                       "replaying it)")
+    local.add_argument("--warmup-views", type=int, default=None,
+                       help="force a snapshot boundary for fault-free "
+                       "cells (needs --snapshot-dir)")
     local.set_defaults(func=_cmd_fleet_local)
 
     sub.add_parser(

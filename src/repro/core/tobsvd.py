@@ -30,7 +30,8 @@ lock (Section 6.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 from repro.chain.log import Log
@@ -60,6 +61,36 @@ PROTOCOL_NAME = "tobsvd"
 # Hot-path aliases for the forward decision (HandleOutcome.should_forward).
 _ACCEPTED = HandleOutcome.ACCEPTED
 _EQUIVOCATION = HandleOutcome.EQUIVOCATION
+
+# Active only while repro.snapshot.capture() pickles a run: ``(floor,
+# protected)`` marks which per-view state is still live.  See
+# :meth:`TobSvdValidator.__getstate__`.
+_CAPTURE_PRUNE: tuple[int, frozenset[int]] | None = None
+
+
+class prune_dead_views:
+    """Context manager marking finished per-view state prunable for pickling.
+
+    While active, :meth:`TobSvdValidator.__getstate__` drops ``GA_v`` /
+    ``ProposalBook`` entries for views ``v < floor`` unless ``v`` is in
+    ``protected`` (views an undelivered envelope still references).  A
+    view below the floor has run all its phases and can receive no
+    further message, so its instance is never consulted again by the
+    resumed run — dropping it changes the blob, not the continuation.
+    """
+
+    def __init__(self, floor: int, protected: frozenset[int]) -> None:
+        self._state = (floor, protected)
+
+    def __enter__(self) -> "prune_dead_views":
+        global _CAPTURE_PRUNE
+        self._previous = _CAPTURE_PRUNE
+        _CAPTURE_PRUNE = self._state
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _CAPTURE_PRUNE
+        _CAPTURE_PRUNE = self._previous
 
 # The sleepy-model parameters TOB-SVD requires, in Delta units.
 T_B_DELTAS = 5
@@ -213,6 +244,37 @@ class TobSvdValidator(BaseValidator):
             return None
         return outputs[-1]
 
+    # -- serialization -----------------------------------------------------------
+
+    def __getstate__(self):
+        """Snapshot pickling: drop per-view state of finished views.
+
+        ``_instances`` and ``_books`` grow one entry per view and are the
+        dominant weight of a mid-run snapshot, yet the continuation only
+        ever reads views at or above the capture view minus one (phase
+        timers of view ``W`` consult ``GA_{W-1}``) plus any older view an
+        undelivered envelope still addresses — :func:`repro.snapshot.capture`
+        computes that floor/protected pair and activates
+        :class:`prune_dead_views` around ``pickle.dump``.  Dropped views
+        thaw back as lazily-recreated empty instances, which the resumed
+        run never consults; outside a capture context the full maps are
+        pickled unchanged.
+        """
+
+        state = self.__dict__
+        prune = _CAPTURE_PRUNE
+        if prune is None:
+            return state
+        floor, protected = prune
+        state = dict(state)
+        for name in ("_instances", "_books"):
+            state[name] = {
+                view: entry
+                for view, entry in state[name].items()
+                if view >= floor or view in protected
+            }
+        return state
+
     # -- timers -------------------------------------------------------------------
 
     def setup(self) -> None:
@@ -222,15 +284,35 @@ class TobSvdValidator(BaseValidator):
         by ``GA_{num_views - 1}`` still land.
         """
 
+        self.install_phase_timers(0, self._config.num_views)
+
+    def install_phase_timers(self, first_view: int, num_views: int) -> None:
+        """Register phase timers for views ``first_view .. num_views``.
+
+        ``setup`` covers the whole run (``first_view = 0``); snapshot forks
+        that extend the horizon call this again with ``first_view`` set to
+        the old ``num_views`` to add only the missing timers — the old
+        wrap-up view already owns its decide timer, so that one is skipped.
+        Callbacks are ``functools.partial`` over bound methods (not
+        lambdas) so the simulator calendar stays picklable for snapshots.
+        """
+
         delta = self._config.delta
-        for view in range(self._config.num_views + 1):
+        for view in range(first_view, num_views + 1):
             start = self._time.view_start(view)
-            if view < self._config.num_views:
-                self.schedule_timer(start, lambda v=view: self._propose_phase(v), note=f"propose-{view}")
-                self.schedule_timer(start + delta, lambda v=view: self._vote_phase(v), note=f"vote-{view}")
-            self.schedule_timer(start + 2 * delta, lambda v=view: self._decide_phase(v), note=f"decide-{view}")
-            if view < self._config.num_views:
-                self.schedule_timer(start + 3 * delta, lambda v=view: self._second_snapshot_phase(v), note=f"snap2-{view}")
+            if view < num_views:
+                self.schedule_timer(start, partial(self._propose_phase, view), note=f"propose-{view}")
+                self.schedule_timer(start + delta, partial(self._vote_phase, view), note=f"vote-{view}")
+            if first_view == 0 or view > first_view:
+                self.schedule_timer(start + 2 * delta, partial(self._decide_phase, view), note=f"decide-{view}")
+            if view < num_views:
+                self.schedule_timer(start + 3 * delta, partial(self._second_snapshot_phase, view), note=f"snap2-{view}")
+
+    def adopt_config(self, config: TobSvdConfig) -> None:
+        """Point this validator at an updated run config (horizon extension)."""
+
+        self._config = config
+        self._num_views = config.num_views
 
     # -- the four phases of Figure 4 --------------------------------------------------
 
@@ -432,6 +514,8 @@ class TobSvdProtocol:
         self.validators: dict[int, TobSvdValidator] = {}
         self.byzantine_nodes: dict[int, object] = {}
 
+        self._started = False
+
         validator_class = validator_class if validator_class is not None else TobSvdValidator
         byzantine = self.corruption.initial_byzantine
         for vid in range(config.n):
@@ -456,6 +540,30 @@ class TobSvdProtocol:
     def run(self) -> TobSvdResult:
         """Execute the configured number of views and return the result."""
 
+        self.start()
+        self.advance(self.config.horizon)
+        return self.finish()
+
+    # -- staged execution (snapshot/fork entry points) ---------------------
+
+    @property
+    def controller(self) -> SleepController:
+        """The run's sleep controller (snapshot forks install faults here)."""
+
+        return self._controller
+
+    def start(self) -> None:
+        """Install the controller and every validator/adversary timer.
+
+        Split out of :meth:`run` so a run can be paused mid-flight:
+        ``start(); advance(T)`` produces exactly the state an
+        uninterrupted run passes through at tick ``T``, which
+        :mod:`repro.snapshot` serializes.  Calling :meth:`run` afterwards
+        (or on a forked copy) resumes without re-installing anything.
+        """
+
+        if self._started:
+            return
         horizon = self.config.horizon
         self._controller.install(horizon)
         for validator in self.validators.values():
@@ -464,7 +572,47 @@ class TobSvdProtocol:
             setup = getattr(node, "setup", None)
             if callable(setup):
                 setup()
-        self.simulator.run_until(horizon)
+        self._started = True
+
+    def advance(self, until: int) -> None:
+        """Process all events up to and including tick ``until``."""
+
+        if not self._started:
+            raise RuntimeError("advance() before start(); call start() first")
+        self.simulator.run_until(until)
+
+    def extend_horizon(self, new_num_views: int) -> None:
+        """Grow a started run to ``new_num_views`` (snapshot-fork override).
+
+        Installs only the missing phase timers, participation transitions,
+        corruptions and fault events in the extension window, preserving
+        the from-genesis relative CONTROL/TIMER bucket order (validators
+        in id order, install families in the order :meth:`start` uses).
+        """
+
+        old = self.config.num_views
+        if new_num_views <= old:
+            raise ValueError(
+                f"extend_horizon needs num_views > {old}, got {new_num_views}"
+            )
+        if not self._started:
+            raise RuntimeError("extend_horizon() only applies to a started run")
+        old_horizon = self.config.horizon
+        config = replace(self.config, num_views=new_num_views)
+        self.config = config
+        self.context.config = config
+        self._controller.extend_horizon(old_horizon, config.horizon)
+        for validator in self.validators.values():
+            validator.adopt_config(config)
+            validator.install_phase_timers(old, new_num_views)
+        for node in self.byzantine_nodes.values():
+            extend = getattr(node, "extend_views", None)
+            if callable(extend):
+                extend(old, new_num_views)
+
+    def finish(self) -> TobSvdResult:
+        """Package the current state as a result (any time after start)."""
+
         return TobSvdResult(
             config=self.config,
             trace=self.trace,

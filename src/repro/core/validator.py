@@ -24,6 +24,27 @@ from repro.sim.simulator import EventPriority, Simulator
 from repro.tracebus import TraceBus
 
 
+class GuardedTimer:
+    """A scheduled protocol action that only fires if the owner is honest
+    and awake at fire time.
+
+    A class rather than a closure so scheduled timers — which live in the
+    simulator calendar — stay picklable for snapshot/fork (closures and
+    lambdas cannot be pickled; instances of module-level classes can).
+    """
+
+    __slots__ = ("validator", "callback")
+
+    def __init__(self, validator: "BaseValidator", callback: Callable[[], None]) -> None:
+        self.validator = validator
+        self.callback = callback
+
+    def __call__(self) -> None:
+        owner = self.validator
+        if owner.awake and not owner.corrupted:
+            self.callback()
+
+
 class BaseValidator:
     """Common machinery for honest validators."""
 
@@ -122,11 +143,7 @@ class BaseValidator:
     def schedule_timer(self, time: int, callback: Callable[[], None], note: str = "") -> None:
         """Schedule a protocol action that only runs if awake and honest."""
 
-        def guarded() -> None:
-            if self.awake and not self.corrupted:
-                callback()
-
-        self._sim.schedule_callback(time, EventPriority.TIMER, guarded)
+        self._sim.schedule_callback(time, EventPriority.TIMER, GuardedTimer(self, callback))
 
     @property
     def now(self) -> int:

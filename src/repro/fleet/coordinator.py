@@ -116,6 +116,7 @@ class FleetCoordinator:
         self.on_commit = on_commit
         self.table = LeaseTable(ttl=self.config.lease_ttl)
         self.table.add_cells(cells)
+        self._affinity_built = False
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._closing = False
@@ -298,6 +299,10 @@ class FleetCoordinator:
         with self._lock:
             if kind == "register":
                 self.table.register(runner)
+                snapshots = message.get("snapshots")
+                if snapshots:
+                    self._ensure_affinity()
+                    self.table.advertise(runner, snapshots)
                 return {
                     "type": "welcome",
                     "trace_mode": self.config.trace_mode,
@@ -327,6 +332,37 @@ class FleetCoordinator:
                 renewed = self.table.renew(runner, now)
                 return {"type": "ack", "outcome": "renewed", "leases": renewed}
         return {"type": "error", "error": f"unknown message type {kind!r}"}
+
+    def _ensure_affinity(self) -> None:
+        """Build the cell → candidate-snapshot-id map once (caller holds lock).
+
+        A cell's warm-up snapshot can sit at any view boundary, so every
+        ``snapshot_id(prefix-scenario, seed, view)`` for views ``1 ..
+        num_views`` counts as a match.  Pure hashing over the cell
+        coordinates — the coordinator never compiles fault plans or
+        touches the protocol stack for placement.
+        """
+
+        if self._affinity_built:
+            return
+        self._affinity_built = True
+        from repro.harness.sweep import TOBSVD_NAME, Cell
+        from repro.snapshot import snapshot_id
+
+        affinity: dict[str, frozenset] = {}
+        for cell_id, payload in self.table.items.items():
+            try:
+                cell = Cell.from_dict(payload)
+            except (TypeError, ValueError, KeyError):
+                continue
+            if cell.protocol != TOBSVD_NAME:
+                continue
+            key = f"{cell.prefix_key}|trace={self.config.trace_mode}"
+            affinity[cell_id] = frozenset(
+                snapshot_id(key, cell.run_seed, view)
+                for view in range(1, cell.num_views + 1)
+            )
+        self.table.affinity = affinity
 
     def _accept_result(self, message: dict, runner: str) -> dict:
         """Validate + commit one result line (caller holds the lock)."""

@@ -57,6 +57,7 @@ class LeaseCounters:
     results_committed: int = 0
     duplicates_discarded: int = 0
     late_accepted: int = 0
+    leases_affinity_matched: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -69,6 +70,7 @@ class LeaseCounters:
             "results_committed": self.results_committed,
             "duplicates_discarded": self.duplicates_discarded,
             "late_accepted": self.late_accepted,
+            "leases_affinity_matched": self.leases_affinity_matched,
         }
 
 
@@ -84,10 +86,15 @@ class LeaseTable:
 
     ttl: float
     items: dict[str, dict] = field(default_factory=dict)
+    #: ``cell_id -> frozenset(snapshot ids)`` — every snapshot id that
+    #: could serve the cell's warm-up prefix.  Set by the coordinator when
+    #: snapshot-aware placement is on; empty means FIFO-only grants.
+    affinity: dict = field(default_factory=dict)
     _pending: deque = field(default_factory=deque)
     _leases: dict[str, Lease] = field(default_factory=dict)
     _committed: set = field(default_factory=set)
     _runners: set = field(default_factory=set)
+    _snapshots: dict = field(default_factory=dict)  # runner_id -> frozenset(ids)
     _attempts: dict = field(default_factory=dict)
     counters: LeaseCounters = field(default_factory=LeaseCounters)
 
@@ -120,6 +127,15 @@ class LeaseTable:
             return
         self._runners.add(runner_id)
         self.counters.runners_registered += 1
+
+    def advertise(self, runner_id: str, snapshot_ids) -> None:
+        """Record the snapshot ids warm in ``runner_id``'s local store.
+
+        Advertised once, inside the register message — placement is a
+        grant-time preference, never an extra protocol round-trip.
+        """
+
+        self._snapshots[runner_id] = frozenset(snapshot_ids)
 
     def runner_dead(self, runner_id: str, now: float) -> list[str]:
         """A runner is gone (disconnect, crash): requeue its leases now
@@ -162,9 +178,16 @@ class LeaseTable:
         Expired leases are swept first, so a grant request from any live
         runner is also the event that re-dispatches a dead runner's
         cells — the coordinator needs no dedicated timer for progress.
+
+        When ``runner_id`` advertised warm snapshots and the table holds
+        an affinity map, cells whose warm-up snapshot the runner already
+        has jump to the head of this grant (greedy; FIFO order is kept
+        within the matched and unmatched classes, so placement stays
+        deterministic given the request order).
         """
 
         self.expire(now)
+        preferred = self._affinity_front(runner_id, max_cells)
         batch: list[dict] = []
         while self._pending and len(batch) < max_cells:
             cell_id = self._pending.popleft()
@@ -179,8 +202,41 @@ class LeaseTable:
                 attempts=attempts,
             )
             self.counters.leases_granted += 1
+            if cell_id in preferred:
+                self.counters.leases_affinity_matched += 1
             batch.append(self.items[cell_id])
         return batch
+
+    def _affinity_front(self, runner_id: str, max_cells: int) -> set:
+        """Move up to ``max_cells`` warm-snapshot cells to the queue head.
+
+        Returns the moved ids so :meth:`grant` can count matches.  A
+        stable two-class partition of the pending deque: matched cells
+        first (FIFO among themselves), everything else after (FIFO),
+        so two coordinators fed the same request order place leases
+        identically.
+        """
+
+        warm = self._snapshots.get(runner_id)
+        if not warm or not self.affinity or not self._pending:
+            return set()
+        matched: deque = deque()
+        rest: deque = deque()
+        for cell_id in self._pending:
+            if (
+                len(matched) < max_cells
+                and cell_id not in self._committed
+                and self.affinity.get(cell_id, frozenset()) & warm
+            ):
+                matched.append(cell_id)
+            else:
+                rest.append(cell_id)
+        if not matched:
+            return set()
+        moved = set(matched)
+        matched.extend(rest)
+        self._pending = matched
+        return moved
 
     def renew(self, runner_id: str, now: float) -> int:
         """Extend every lease ``runner_id`` holds (heartbeat).  Any

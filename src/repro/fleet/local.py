@@ -51,12 +51,26 @@ class FleetSummary:
         return self.cells_committed == self.cells_total
 
 
-def _runner_proc_main(host: str, port: int, runner_id: str, workers: int) -> None:
+def _runner_proc_main(
+    host: str,
+    port: int,
+    runner_id: str,
+    workers: int,
+    snapshot_dir: str | None = None,
+    warmup_views: int | None = None,
+) -> None:
     """Entry point of one spawned runner process."""
 
     from repro.fleet.runner import FleetRunner
 
-    FleetRunner(host=host, port=port, runner_id=runner_id, workers=workers).run()
+    FleetRunner(
+        host=host,
+        port=port,
+        runner_id=runner_id,
+        workers=workers,
+        snapshot_dir=snapshot_dir,
+        warmup_views=warmup_views,
+    ).run()
 
 
 def run_fleet_local(
@@ -70,6 +84,8 @@ def run_fleet_local(
     on_commit=None,
     timeout: float | None = None,
     start_barrier: bool = True,
+    snapshot_dir: str | None = None,
+    warmup_views: int | None = None,
 ) -> FleetSummary:
     """Run ``cells`` to completion on a localhost fleet.
 
@@ -79,6 +95,14 @@ def run_fleet_local(
     gives each of them its own ``SweepExecutor`` pool (0 = in-process
     execution inside the runner).  Committed lines land in ``store``
     (first-write-wins) and feed ``on_commit`` as they arrive.
+
+    ``snapshot_dir`` gives every runner the same local snapshot store
+    (on one host they share the directory; a real multi-host deployment
+    would point each runner at its own disk): runners advertise their
+    cached snapshot ids at register, the coordinator prefers leasing
+    cells whose warm-up those ids cover, and eligible cells fork instead
+    of replaying from genesis.  ``warmup_views`` as in
+    :func:`repro.harness.sweep.run_cell`.
     """
 
     if runners < 1:
@@ -98,7 +122,10 @@ def run_fleet_local(
     procs = [
         ctx.Process(
             target=_runner_proc_main,
-            args=(host, port, f"local-runner-{index}", workers_per_runner),
+            args=(
+                host, port, f"local-runner-{index}", workers_per_runner,
+                snapshot_dir, warmup_views,
+            ),
             daemon=True,
         )
         for index in range(runners)

@@ -75,6 +75,8 @@ class FleetRunner:
     workers: int = 0
     max_cells: int = 0
     connect_timeout: float = 10.0
+    snapshot_dir: str | None = None
+    warmup_views: int | None = None
     stats: RunnerStats = field(default_factory=RunnerStats)
 
     def __post_init__(self) -> None:
@@ -100,9 +102,18 @@ class FleetRunner:
         conn = FrameConnection(sock)
         executor = None
         try:
-            welcome = self._exchange(
-                conn, {"type": "register", "runner": self.runner_id}
-            )
+            register: dict = {"type": "register", "runner": self.runner_id}
+            if self.snapshot_dir is not None:
+                # Advertise locally cached snapshot ids so the
+                # coordinator can lease cells whose warm-up this host
+                # already holds (one field in an existing message — no
+                # extra protocol round-trips).
+                from repro.harness.sweep import process_snapshot_store
+
+                register["snapshots"] = process_snapshot_store(
+                    self.snapshot_dir
+                ).ids()
+            welcome = self._exchange(conn, register)
             if welcome.get("type") != "welcome":
                 raise RunnerError(f"expected welcome, got {welcome!r}")
             trace_mode = welcome.get("trace_mode", "bounded")
@@ -175,11 +186,29 @@ class FleetRunner:
     def _execute(self, cell_dicts: list[dict], trace_mode: str, executor):
         """Yield canonical result lines for one leased batch."""
 
-        from repro.harness.sweep import Cell, canonical_record, run_cell
+        from repro.harness.sweep import (
+            Cell,
+            canonical_record,
+            process_snapshot_store,
+            run_cell,
+        )
 
         cells = [Cell.from_dict(data) for data in cell_dicts]
         if executor is not None:
-            yield from executor.map_cells(cells, trace_mode)
+            yield from executor.map_cells(
+                cells,
+                trace_mode,
+                snapshot_dir=self.snapshot_dir,
+                warmup_views=self.warmup_views,
+            )
         else:
+            snapshot_store = process_snapshot_store(self.snapshot_dir)
             for cell in cells:
-                yield canonical_record(run_cell(cell, trace_mode))
+                yield canonical_record(
+                    run_cell(
+                        cell,
+                        trace_mode,
+                        snapshot_store=snapshot_store,
+                        warmup_views=self.warmup_views,
+                    )
+                )

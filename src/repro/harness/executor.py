@@ -130,7 +130,7 @@ def _worker_init() -> None:
     Log.genesis()
 
 
-def _run_cell_to_line(payload: tuple[dict, str]) -> str:
+def _run_cell_to_line(payload: tuple[dict, str], snapshot_store=None, warmup_views=None) -> str:
     """Worker entry point: execute one cell, return its canonical line.
 
     Serializing in the worker (a) moves the JSON encode off the parent's
@@ -143,20 +143,37 @@ def _run_cell_to_line(payload: tuple[dict, str]) -> str:
     from repro.harness.sweep import Cell, canonical_record, run_cell
 
     cell_data, trace_mode = payload
-    return canonical_record(run_cell(Cell.from_dict(cell_data), trace_mode))
+    return canonical_record(
+        run_cell(
+            Cell.from_dict(cell_data),
+            trace_mode,
+            snapshot_store=snapshot_store,
+            warmup_views=warmup_views,
+        )
+    )
 
 
 def _pool_worker_main(conn) -> None:
     """Worker process main loop: init, handshake, serve chunk tasks.
 
     Protocol (all over the duplex pipe): the worker sends ``_READY``
-    once initialized, then for each received ``(task_id, trace_mode,
-    items)`` — where ``items`` is a list of ``(cell_dict, attempt,
-    kill)`` triples — it executes the cells in order and replies
-    ``(task_id, lines)``.  A ``kill`` item SIGKILLs the process before
-    executing that cell (chaos mode: the parent decides, the worker
-    obeys, determinism lives with the :class:`~repro.faults.ChaosPlan`).
-    ``None`` or a closed pipe shuts the worker down.
+    once initialized, then for each received ``(task_id, options,
+    items)`` — where ``options`` is a dict carrying ``trace_mode`` plus
+    the snapshot-tier settings, and ``items`` is a list of
+    ``(cell_dict, attempt, kill)`` triples — it executes the cells in
+    order and replies ``(task_id, lines, stats)``, where ``stats``
+    carries the chunk's prebuild/snapshot cache-counter deltas.  A
+    ``kill`` item SIGKILLs the process before executing that cell
+    (chaos mode: the parent decides, the worker obeys, determinism
+    lives with the :class:`~repro.faults.ChaosPlan`).  ``None`` or a
+    closed pipe shuts the worker down.
+
+    The worker-side :class:`~repro.snapshot.SnapshotStore` is cached
+    per ``snapshot_dir`` for the life of the process
+    (:func:`repro.harness.sweep.process_snapshot_store`), and the store
+    directory is shared by every worker — a prefix warmed by one
+    process is a disk hit for all others (atomic first-rename-wins
+    puts), which is the cross-process reuse the snapshot tier is for.
     """
 
     die = os.environ.get(_DIE_ON_INIT_ENV)
@@ -176,7 +193,18 @@ def _pool_worker_main(conn) -> None:
             return
         if task is None:
             return
-        task_id, trace_mode, items = task
+        from repro.harness.prebuild import PREBUILD
+        from repro.harness.sweep import process_snapshot_store
+        from repro.snapshot import SnapshotStore
+
+        task_id, options, items = task
+        trace_mode = options["trace_mode"]
+        snapshot_store = process_snapshot_store(options.get("snapshot_dir"))
+        warmup_views = options.get("warmup_views")
+        prebuild_before = (PREBUILD.hits, PREBUILD.misses)
+        snap_before = (
+            snapshot_store.stats() if snapshot_store is not None else None
+        )
         lines = []
         for cell_data, attempt, kill in items:
             if kill:
@@ -186,9 +214,27 @@ def _pool_worker_main(conn) -> None:
 
                 if Cell.from_dict(cell_data).cell_id == hang_cell:
                     time.sleep(3600)
-            lines.append(_run_cell_to_line((cell_data, trace_mode)))
+            lines.append(
+                _run_cell_to_line(
+                    (cell_data, trace_mode),
+                    snapshot_store=snapshot_store,
+                    warmup_views=warmup_views,
+                )
+            )
+        if snapshot_store is not None:
+            after = snapshot_store.stats()
+            snap_delta = {key: after[key] - snap_before[key] for key in after}
+        else:
+            snap_delta = SnapshotStore.empty_stats()
+        stats = {
+            "prebuild": {
+                "hits": PREBUILD.hits - prebuild_before[0],
+                "misses": PREBUILD.misses - prebuild_before[1],
+            },
+            "snapshot": snap_delta,
+        }
         try:
-            conn.send((task_id, lines))
+            conn.send((task_id, lines, stats))
         except (BrokenPipeError, OSError):
             return
 
@@ -301,6 +347,10 @@ class SweepExecutor:
         self.retries_attempted = 0
         self.cells_quarantined = 0
         self.workers_respawned = 0
+        self._cache = {
+            "prebuild": {"hits": 0, "misses": 0},
+            "snapshot": {"hits": 0, "misses": 0, "saves": 0, "forks": 0},
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -408,7 +458,24 @@ class SweepExecutor:
 
     # -- dispatch ------------------------------------------------------------
 
-    def map_cells(self, cells, trace_mode: str = "bounded", chunksize: int | None = None):
+    def cache_stats(self) -> dict:
+        """Cumulative worker-reported cache counters (prebuild + snapshot).
+
+        Aggregated from the per-chunk deltas every worker reply carries;
+        callers that want per-sweep numbers snapshot this before and
+        after a dispatch and subtract.
+        """
+
+        return {tier: dict(counters) for tier, counters in self._cache.items()}
+
+    def map_cells(
+        self,
+        cells,
+        trace_mode: str = "bounded",
+        chunksize: int | None = None,
+        snapshot_dir: str | None = None,
+        warmup_views: int | None = None,
+    ):
         """Execute ``cells`` on the pool; yield canonical JSONL lines.
 
         Lines arrive in completion order, one per cell, each exactly as
@@ -416,7 +483,10 @@ class SweepExecutor:
         exhausted their retries), which the parent serializes with the
         same canonical encoder.  ``chunksize`` overrides the executor
         default for this dispatch; ``0`` (or an executor constructed
-        with 0) picks :func:`adaptive_chunksize`.
+        with 0) picks :func:`adaptive_chunksize`.  ``snapshot_dir``
+        turns on the worker-side snapshot tier (see
+        :func:`repro.harness.sweep.run_cell`); ``warmup_views`` forces a
+        snapshot boundary for fault-free cells.
         """
 
         cells = list(cells)
@@ -428,11 +498,16 @@ class SweepExecutor:
             effective = adaptive_chunksize(len(cells), self.workers)
         self.sweeps_dispatched += 1
         self.cells_dispatched += len(cells)
-        return self._supervise(cells, trace_mode, effective)
+        options = {
+            "trace_mode": trace_mode,
+            "snapshot_dir": snapshot_dir,
+            "warmup_views": warmup_views,
+        }
+        return self._supervise(cells, options, effective)
 
     # -- supervision ---------------------------------------------------------
 
-    def _supervise(self, cells, trace_mode: str, chunksize: int):
+    def _supervise(self, cells, options: dict, chunksize: int):
         """The scheduling loop: assign, collect, heal, retry, quarantine."""
 
         # A previous dispatch abandoned mid-sweep may have left chunks
@@ -513,7 +588,7 @@ class SweepExecutor:
                 chunk = _Chunk(self._next_task_id, states)
                 self._next_task_id += 1
                 try:
-                    worker.conn.send((chunk.task_id, trace_mode, items))
+                    worker.conn.send((chunk.task_id, options, items))
                 except (BrokenPipeError, OSError):
                     queue.extendleft(reversed(states))
                     continue  # death is reaped on the next iteration
@@ -553,12 +628,16 @@ class SweepExecutor:
             worker.ready = True
             self._init_deaths = 0
             return
-        task_id, lines = message
+        task_id, lines, stats = message
         chunk = worker.task
         if chunk is None or task_id != chunk.task_id:
             return  # stale result from an abandoned dispatch
         worker.task = None
         worker.deadline = None
+        for tier, counters in stats.items():
+            bucket = self._cache.setdefault(tier, {})
+            for key, value in counters.items():
+                bucket[key] = bucket.get(key, 0) + value
         out.extend(lines)
 
     def _fail_chunk(self, chunk: _Chunk, error: str, queue, out: list[str], now: float) -> None:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from statistics import mean
 from typing import Callable
 
@@ -38,13 +38,56 @@ from repro.baselines.structure import PROTOCOL_STRUCTURES, structure_for
 from repro.chain.transactions import TransactionPool
 from repro.core.tobsvd import PROTOCOL_NAME as TOBSVD_NAME
 from repro.core.tobsvd import TobSvdConfig, TobSvdProtocol
+from repro.faults import FaultSpec
 from repro.harness.prebuild import PREBUILD
+from repro.harness.scenarios import compile_checked_fault_plan
+from repro.sleepy.corruption import CorruptionPlan
+from repro.snapshot import SnapshotStore, fork, snapshot_id, warm_snapshot
 
 PARTICIPATIONS = ("stable", "churn", "late-join", "bursty")
 ATTACKERS = ("equivocating-proposer", "silent", "double-voter")
 STRUCTURAL_PROTOCOLS = tuple(
     name for name in PROTOCOL_STRUCTURES if name != TOBSVD_NAME
 )
+
+
+def canonical_fault_entry(entry: str) -> str:
+    """Normalize one fault-axis entry to its canonical JSON form.
+
+    ``""`` means "no faults"; anything else must parse as a
+    :class:`repro.faults.FaultSpec` dict and is re-serialized with sorted
+    keys so textually-different spellings of the same spec collapse to one
+    cell identity.  A spec with no actual faults normalizes to ``""``.
+    """
+
+    if not entry:
+        return ""
+    try:
+        spec = FaultSpec.from_dict(json.loads(entry))
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise ValueError(f"fault_specs entry is not a fault-spec JSON object: {exc}")
+    if not spec.any_faults:
+        return ""
+    return json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+#: Per-process snapshot stores, keyed by directory.  Sweep workers reuse
+#: one store object across chunks so its hit/miss counters accumulate and
+#: repeated opens of the same directory stay cheap; the *directory* is
+#: shared across processes, which is where cross-process reuse happens.
+_SNAPSHOT_STORES: dict[str, SnapshotStore] = {}
+
+
+def process_snapshot_store(path: str | None) -> SnapshotStore | None:
+    """The process-cached :class:`SnapshotStore` for ``path`` (or ``None``)."""
+
+    if path is None:
+        return None
+    store = _SNAPSHOT_STORES.get(path)
+    if store is None:
+        store = SnapshotStore(path)
+        _SNAPSHOT_STORES[path] = store
+    return store
 
 
 # ---------------------------------------------------------------------------
@@ -73,6 +116,12 @@ class ExperimentSpec:
     seeds: int = 1
     num_views: int = 8
     txs_per_cell: int = 8
+    # Fault-injection axis: each entry is "" (no faults) or a FaultSpec
+    # JSON object.  Applies to TOB-SVD cells only; other protocols keep
+    # the fault-free cell.  Cells differing only in this axis share a
+    # warm-up prefix and can fork from one snapshot (run_sweep
+    # ``snapshot_dir=``).
+    fault_specs: tuple[str, ...] = ("",)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -81,6 +130,10 @@ class ExperimentSpec:
             raise ValueError("seeds must be >= 1")
         if self.num_views < 4:
             raise ValueError("num_views must be >= 4 (latency anchors need room)")
+        if not self.fault_specs:
+            raise ValueError("fault_specs needs at least one entry ('' = no faults)")
+        for entry in self.fault_specs:
+            canonical_fault_entry(entry)  # raises on malformed entries
         known = (TOBSVD_NAME,) + STRUCTURAL_PROTOCOLS
         for protocol in self.protocols:
             if protocol not in known:
@@ -110,6 +163,7 @@ class ExperimentSpec:
             "seeds": self.seeds,
             "num_views": self.num_views,
             "txs_per_cell": self.txs_per_cell,
+            "fault_specs": list(self.fault_specs),
         }
 
     @classmethod
@@ -119,12 +173,16 @@ class ExperimentSpec:
         known = {
             "name", "protocols", "ns", "fs", "deltas", "attackers",
             "participations", "seeds", "num_views", "txs_per_cell",
+            "fault_specs",
         }
         extra = set(data) - known
         if extra:
             raise ValueError(f"unknown spec keys: {sorted(extra)}")
         kwargs = dict(data)
-        for key in ("protocols", "ns", "fs", "deltas", "attackers", "participations"):
+        for key in (
+            "protocols", "ns", "fs", "deltas", "attackers", "participations",
+            "fault_specs",
+        ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])
         return cls(**kwargs)
@@ -160,20 +218,28 @@ class ExperimentSpec:
                                 # does not apply.
                                 attackers = ("equivocating-proposer",)
                             for attacker in attackers:
-                                for seed_index in range(self.seeds):
-                                    cell = Cell(
-                                        spec_name=self.name,
-                                        protocol=protocol,
-                                        n=n,
-                                        f=f,
-                                        delta=delta,
-                                        attacker=attacker,
-                                        participation=participation,
-                                        seed_index=seed_index,
-                                        num_views=self.num_views,
-                                        txs_per_cell=self.txs_per_cell,
-                                    )
-                                    cells[cell.cell_id] = cell
+                                fault_entries = (
+                                    self.fault_specs
+                                    if protocol == TOBSVD_NAME
+                                    else ("",)
+                                )
+                                for entry in fault_entries:
+                                    faults = canonical_fault_entry(entry)
+                                    for seed_index in range(self.seeds):
+                                        cell = Cell(
+                                            spec_name=self.name,
+                                            protocol=protocol,
+                                            n=n,
+                                            f=f,
+                                            delta=delta,
+                                            attacker=attacker,
+                                            participation=participation,
+                                            seed_index=seed_index,
+                                            num_views=self.num_views,
+                                            txs_per_cell=self.txs_per_cell,
+                                            faults=faults,
+                                        )
+                                        cells[cell.cell_id] = cell
         return tuple(sorted(cells.values(), key=lambda c: c.sort_key))
 
 
@@ -191,10 +257,31 @@ class Cell:
     seed_index: int
     num_views: int
     txs_per_cell: int
+    faults: str = ""  # canonical FaultSpec JSON, or "" for no faults
 
     @property
     def canonical_key(self) -> str:
-        """The unambiguous textual identity every derived value hashes."""
+        """The unambiguous textual identity every derived value hashes.
+
+        The fault suffix only appears when faults are present, so every
+        pre-fault-axis cell keeps its historical key (and therefore its
+        ``cell_id`` and on-disk records).
+        """
+
+        key = self.prefix_key
+        if self.faults:
+            key += f"|faults={self.faults}"
+        return key
+
+    @property
+    def prefix_key(self) -> str:
+        """The cell's identity *minus* the fault axis.
+
+        Cells sharing a ``prefix_key`` run byte-identical warm-up prefixes
+        (crash windows all start strictly after the shared prefix), which
+        is what lets the snapshot tier run the prefix once and fork it
+        under each cell's fault plan.
+        """
 
         return (
             f"{self.spec_name}|{self.protocol}|n={self.n}|f={self.f}"
@@ -210,16 +297,33 @@ class Cell:
         return hashlib.sha256(self.canonical_key.encode()).hexdigest()[:16]
 
     @property
+    def prefix_id(self) -> str:
+        """16-hex id of the fault-stripped prefix (snapshot addressing)."""
+
+        return hashlib.sha256(self.prefix_key.encode()).hexdigest()[:16]
+
+    @property
     def run_seed(self) -> int:
         """Per-cell simulation seed, derived — not enumerated.
 
         Hash-derived seeds guarantee that neighbouring cells never share
         RNG streams (enumerated seeds 0,1,2… would collide across grid
         points) and that the seed is reproducible from the cell alone.
+        Derived from :attr:`prefix_key`, not :attr:`canonical_key`:
+        fault-ablation cells must share their prefix's RNG stream exactly
+        or forked continuations could not be byte-identical to
+        from-genesis runs.
         """
 
-        digest = hashlib.sha256((self.canonical_key + "|rng").encode()).digest()
+        digest = hashlib.sha256((self.prefix_key + "|rng").encode()).digest()
         return int.from_bytes(digest[:4], "big")
+
+    def fault_spec(self) -> FaultSpec | None:
+        """The cell's parsed :class:`FaultSpec`, or ``None`` if fault-free."""
+
+        if not self.faults:
+            return None
+        return FaultSpec.from_dict(json.loads(self.faults))
 
     @property
     def sort_key(self) -> tuple:
@@ -227,13 +331,17 @@ class Cell:
 
         return (
             self.spec_name, self.protocol, self.n, self.f, self.delta,
-            self.attacker, self.participation, self.seed_index,
+            self.attacker, self.participation, self.seed_index, self.faults,
         )
 
     def to_dict(self) -> dict:
-        """JSON-able coordinates (embedded in every result record)."""
+        """JSON-able coordinates (embedded in every result record).
 
-        return {
+        ``faults`` is emitted only when set, so fault-free cells keep the
+        exact record bytes they had before the fault axis existed.
+        """
+
+        data = {
             "spec_name": self.spec_name,
             "protocol": self.protocol,
             "n": self.n,
@@ -245,6 +353,9 @@ class Cell:
             "num_views": self.num_views,
             "txs_per_cell": self.txs_per_cell,
         }
+        if self.faults:
+            data["faults"] = self.faults
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Cell":
@@ -272,13 +383,23 @@ def _anchored_submissions(
     txs = []
     for i in range(cell.txs_per_cell):
         view = 1 + i % (last_view - 1)
+        # Payloads hash the *prefix* id (== cell_id for fault-free cells)
+        # so fault-ablation cells submit byte-identical traffic to their
+        # shared warm-up prefix — a snapshot-fork prerequisite.
         txs.append(
-            pool.submit(payload=f"sweep-{cell.cell_id}-{i}", at_time=view * view_ticks - 1)
+            pool.submit(
+                payload=f"sweep-{cell.prefix_id}-{i}", at_time=view * view_ticks - 1
+            )
         )
     return txs
 
 
-def run_cell(cell: Cell, trace_mode: str = "bounded") -> dict:
+def run_cell(
+    cell: Cell,
+    trace_mode: str = "bounded",
+    snapshot_store: SnapshotStore | None = None,
+    warmup_views: int | None = None,
+) -> dict:
     """Execute one cell and return its JSON-able result record.
 
     The record is a pure function of the cell: metrics come from the
@@ -291,10 +412,21 @@ def run_cell(cell: Cell, trace_mode: str = "bounded") -> dict:
     from the streaming reducers, so records are byte-identical between
     ``full`` and ``bounded`` (the default: sweeps are long-horizon batch
     work and nothing here replays events).
+
+    ``snapshot_store`` enables the snapshot tier: eligible cells (TOB-SVD
+    with a crash-only fault plan, or any TOB-SVD cell when
+    ``warmup_views`` forces a boundary) run their warm-up prefix once per
+    store and fork it instead of replaying from genesis.  The record does
+    **not** mention how it was executed — forked and from-genesis runs
+    are byte-identical, which the fork-identity suite enforces.
     """
 
     try:
-        metrics = _execute(cell, trace_mode)
+        metrics = None
+        if snapshot_store is not None:
+            metrics = _execute_forked(cell, trace_mode, snapshot_store, warmup_views)
+        if metrics is None:
+            metrics = _execute(cell, trace_mode)
         status, error = "ok", None
     except Exception as exc:  # noqa: BLE001 — a cell must never kill the sweep
         metrics, status, error = {}, "error", f"{type(exc).__name__}: {exc}"
@@ -351,6 +483,7 @@ def prepare_cell(cell: Cell, trace_mode: str = "bounded"):
         )
         schedule = PREBUILD.tobsvd_schedule(cell, config)
         corruption = PREBUILD.corruption(cell.n, cell.f)
+        fault_plan = _compiled_fault_plan(cell, config, schedule, corruption)
         pool = TransactionPool()
         txs = _anchored_submissions(pool, cell, config.time.view_ticks)
         protocol = TobSvdProtocol(
@@ -364,8 +497,14 @@ def prepare_cell(cell: Cell, trace_mode: str = "bounded"):
             pool=pool,
             trace_mode=trace_mode,
             registry=PREBUILD.registry(cell.n, cell.run_seed),
+            fault_plan=fault_plan,
         )
     else:
+        if cell.faults:
+            raise ValueError(
+                "fault injection applies to TOB-SVD cells only "
+                f"(cell {cell.cell_id} runs {cell.protocol!r})"
+            )
         structure = structure_for(cell.protocol)
         config = StructuralConfig(
             n=cell.n, num_views=cell.num_views, delta=cell.delta, seed=cell.run_seed
@@ -385,13 +524,30 @@ def prepare_cell(cell: Cell, trace_mode: str = "bounded"):
     return protocol, txs
 
 
-def _execute(cell: Cell, trace_mode: str = "bounded") -> dict:
-    """The measured body of :func:`run_cell` (raises on any failure)."""
+def _compiled_fault_plan(cell: Cell, config, schedule, corruption):
+    """Compile the cell's fault spec (or ``None`` for fault-free cells).
 
-    protocol, txs = prepare_cell(cell, trace_mode)
-    result = protocol.run()
+    Both execution paths — from-genesis and snapshot-fork — call exactly
+    this, with exactly these arguments, so the compiled plans (and hence
+    the simulated event streams) are identical.
+    """
+
+    spec = cell.fault_spec()
+    if spec is None:
+        return None
+    return compile_checked_fault_plan(
+        spec,
+        config,
+        corruption if corruption is not None else CorruptionPlan.none(),
+        schedule,
+        label=f"cell {cell.cell_id}",
+    )
+
+
+def _metrics(cell: Cell, result, txs: list) -> dict:
+    """The record's metrics dict from a finished run (shared by both tiers)."""
+
     deliveries = result.network.stats.weighted_deliveries
-
     analysis = result.analysis
     blocks = analysis.new_blocks
     confirmed = analysis.confirmation_times_deltas(txs, cell.delta)
@@ -409,6 +565,79 @@ def _execute(cell: Cell, trace_mode: str = "bounded") -> dict:
         "phases_per_block": round(phases, 6) if phases is not None else None,
         "weighted_deliveries": deliveries,
     }
+
+
+def _execute(cell: Cell, trace_mode: str = "bounded") -> dict:
+    """The measured body of :func:`run_cell` (raises on any failure)."""
+
+    protocol, txs = prepare_cell(cell, trace_mode)
+    result = protocol.run()
+    return _metrics(cell, result, txs)
+
+
+def _snapshot_view(cell: Cell, config, fault_plan, warmup_views: int | None) -> int:
+    """The latest sound fork view for a cell, or ``0`` when ineligible.
+
+    A crash-only fault plan bounds the view at the first crash window
+    (all fault events must land strictly after the fork tick);
+    ``warmup_views`` caps it further and is the only thing that makes a
+    *fault-free* cell eligible (it has no shared warm-up to skip
+    otherwise, so snapshotting it would just add pickling overhead).
+    """
+
+    view = cell.num_views
+    if fault_plan is not None:
+        if fault_plan.has_message_faults:
+            return 0  # message faults reshape delivery scheduling from genesis
+        if fault_plan.crash_windows:
+            earliest = min(w.start for w in fault_plan.crash_windows)
+            view = min(view, earliest // config.time.view_ticks)
+    elif warmup_views is None:
+        return 0
+    if warmup_views is not None:
+        view = min(view, warmup_views)
+    return max(0, view)
+
+
+def _execute_forked(
+    cell: Cell,
+    trace_mode: str,
+    snapshot_store: SnapshotStore,
+    warmup_views: int | None,
+) -> dict | None:
+    """Run a cell via the snapshot tier, or return ``None`` if ineligible.
+
+    The shared warm-up prefix (the cell with its fault axis stripped) is
+    simulated once per store and captured at the fork view; every sibling
+    cell forks the stored snapshot under its own fault plan.  Metrics are
+    computed by the same :func:`_metrics` the genesis path uses, over the
+    forked run's own transaction pool, so records stay byte-identical.
+    """
+
+    if cell.protocol != TOBSVD_NAME:
+        return None
+    config = TobSvdConfig(
+        n=cell.n, num_views=cell.num_views, delta=cell.delta, seed=cell.run_seed
+    )
+    schedule = PREBUILD.tobsvd_schedule(cell, config)
+    corruption = PREBUILD.corruption(cell.n, cell.f)
+    fault_plan = _compiled_fault_plan(cell, config, schedule, corruption)
+    view = _snapshot_view(cell, config, fault_plan, warmup_views)
+    if view < 1:
+        return None
+    scenario_key = f"{cell.prefix_key}|trace={trace_mode}"
+    sid = snapshot_id(scenario_key, cell.run_seed, view)
+    snapshot = snapshot_store.get(sid)
+    if snapshot is None:
+        prefix_cell = replace(cell, faults="")
+        protocol, _ = prepare_cell(prefix_cell, trace_mode)
+        snapshot = warm_snapshot(protocol, scenario_key, view, seed=cell.run_seed)
+        snapshot_store.put(snapshot)
+    forked = fork(snapshot, fault_plan=fault_plan)
+    snapshot_store.forks += 1
+    forked.advance(forked.config.horizon)
+    result = forked.finish()
+    return _metrics(cell, result, list(forked.pool))
 
 
 # ---------------------------------------------------------------------------
@@ -658,6 +887,7 @@ class SweepOutcome:
     records: list[dict] = field(default_factory=list)
     recovered: int = 0
     fleet: dict | None = None  # lease/registration counters (fleet backend)
+    cache: dict | None = None  # prebuild + snapshot tier hit/miss counters
 
     def sorted_records(self) -> list[dict]:
         """Records in canonical (cell_id) order — the aggregation input."""
@@ -675,6 +905,8 @@ def run_sweep(
     chunksize: int = 0,
     backend: str = "local",
     fleet_options: dict | None = None,
+    snapshot_dir: str | None = None,
+    warmup_views: int | None = None,
 ) -> SweepOutcome:
     """Expand ``spec`` and execute every not-yet-recorded cell.
 
@@ -711,6 +943,14 @@ def run_sweep(
     resume against ``store`` and produce byte-identical record sets —
     the fleet adds its lease/re-dispatch counters as
     :attr:`SweepOutcome.fleet`.
+
+    ``snapshot_dir`` turns on the snapshot cache tier (tier three of
+    immutable prebuild → warm snapshots → per-cell runs): eligible cells
+    sharing a warm-up prefix run it once and fork the stored snapshot.
+    ``warmup_views`` forces a snapshot boundary for fault-free TOB-SVD
+    cells (see :func:`run_cell`).  Records are byte-identical with the
+    tier on or off; the local backend reports tier counters as
+    :attr:`SweepOutcome.cache`.
     """
 
     if backend not in ("local", "fleet"):
@@ -731,6 +971,7 @@ def run_sweep(
             progress(record)
 
     fleet_counters: dict | None = None
+    cache_counters: dict | None = None
     if backend == "fleet":
         from repro.fleet.local import run_fleet_local
 
@@ -744,27 +985,60 @@ def run_sweep(
                 progress(record)
 
         if todo:
+            options = dict(fleet_options or {})
+            if snapshot_dir is not None:
+                options.setdefault("snapshot_dir", snapshot_dir)
+            if warmup_views is not None:
+                options.setdefault("warmup_views", warmup_views)
             summary = run_fleet_local(
                 todo,
                 store=store,
                 runners=max(1, workers),
                 trace_mode=trace_mode,
                 on_commit=fleet_commit,
-                **(fleet_options or {}),
+                **options,
             )
             fleet_counters = summary.counters
     elif executor is not None and todo:
-        for line in executor.map_cells(todo, trace_mode):
+        before = executor.cache_stats()
+        for line in executor.map_cells(
+            todo, trace_mode, snapshot_dir=snapshot_dir, warmup_views=warmup_views
+        ):
             consume_line(line)
+        cache_counters = _cache_delta(before, executor.cache_stats())
     elif workers <= 1 or len(todo) <= 1:
+        snapshot_store = (
+            SnapshotStore(snapshot_dir) if snapshot_dir is not None else None
+        )
+        prebuild_before = (PREBUILD.hits, PREBUILD.misses)
         for cell in todo:
-            consume_line(canonical_record(run_cell(cell, trace_mode)))
+            consume_line(
+                canonical_record(
+                    run_cell(
+                        cell,
+                        trace_mode,
+                        snapshot_store=snapshot_store,
+                        warmup_views=warmup_views,
+                    )
+                )
+            )
+        cache_counters = {
+            "prebuild": {
+                "hits": PREBUILD.hits - prebuild_before[0],
+                "misses": PREBUILD.misses - prebuild_before[1],
+            },
+            "snapshot": snapshot_store.stats() if snapshot_store is not None
+            else SnapshotStore.empty_stats(),
+        }
     else:
         from repro.harness.executor import SweepExecutor
 
         with SweepExecutor(workers=workers, chunksize=chunksize) as throwaway:
-            for line in throwaway.map_cells(todo, trace_mode):
+            for line in throwaway.map_cells(
+                todo, trace_mode, snapshot_dir=snapshot_dir, warmup_views=warmup_views
+            ):
                 consume_line(line)
+            cache_counters = throwaway.cache_stats()
 
     records = {r["cell_id"]: r for r in (store.load() if store is not None else fresh)}
     wanted = {cell.cell_id for cell in cells}
@@ -776,4 +1050,16 @@ def run_sweep(
         records=[records[cid] for cid in sorted(wanted & set(records))],
         recovered=recovered,
         fleet=fleet_counters,
+        cache=cache_counters,
     )
+
+
+def _cache_delta(before: dict, after: dict) -> dict:
+    """Per-sweep counter deltas from two :meth:`SweepExecutor.cache_stats`."""
+
+    return {
+        tier: {
+            key: after[tier][key] - before[tier][key] for key in after[tier]
+        }
+        for tier in after
+    }

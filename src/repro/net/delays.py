@@ -128,6 +128,31 @@ class FaultyDelay:
 MatchFn = Callable[[int, int, Envelope, int], bool]
 
 
+class SenderMatch:
+    """Match every message from one sender (picklable rule predicate)."""
+
+    __slots__ = ("sender",)
+
+    def __init__(self, sender: int) -> None:
+        self.sender = sender
+
+    def __call__(self, sender: int, recipient: int, envelope: Envelope, send_time: int) -> bool:
+        return sender == self.sender
+
+
+class LinkMatch:
+    """Match one directed sender→recipient link (picklable rule predicate)."""
+
+    __slots__ = ("sender", "recipient")
+
+    def __init__(self, sender: int, recipient: int) -> None:
+        self.sender = sender
+        self.recipient = recipient
+
+    def __call__(self, sender: int, recipient: int, envelope: Envelope, send_time: int) -> bool:
+        return sender == self.sender and recipient == self.recipient
+
+
 class AdversarialDelay:
     """A base policy plus adversary-installed overrides.
 
@@ -149,14 +174,12 @@ class AdversarialDelay:
     def delay_sender(self, sender: int, ticks: int) -> None:
         """Convenience: delay everything from ``sender`` by ``ticks``."""
 
-        self.add_rule(lambda s, r, e, t, _sender=sender: s == _sender, ticks)
+        self.add_rule(SenderMatch(sender), ticks)
 
     def delay_link(self, sender: int, recipient: int, ticks: int) -> None:
         """Convenience: delay one directed link by ``ticks``."""
 
-        self.add_rule(
-            lambda s, r, e, t, _s=sender, _r=recipient: s == _s and r == _r, ticks
-        )
+        self.add_rule(LinkMatch(sender, recipient), ticks)
 
     def delay(self, sender: int, recipient: int, envelope: Envelope, send_time: int) -> int:
         for match, ticks in self._rules:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Protocol
 
 from repro.crypto.signatures import KeyRegistry, SignatureError
@@ -286,9 +287,7 @@ class Network:
                 self._sim.schedule_callback(
                     now + delay,
                     _DELIVERY,
-                    lambda r=recipients, e=envelope, s=skip: self._deliver_many(
-                        r, e, s
-                    ),
+                    partial(self._deliver_many, recipients, envelope, skip),
                 )
             return
         faults = self._msg_faults
@@ -328,7 +327,7 @@ class Network:
         self._sim.schedule_callback(
             self._sim.now + delay,
             _DELIVERY,
-            lambda v=recipient, e=envelope: self._deliver(v, e),
+            partial(self._deliver, recipient, envelope),
         )
 
     # -- fanout plans ------------------------------------------------------
@@ -362,7 +361,7 @@ class Network:
         self._sim.schedule_callback(
             time,
             _DELIVERY,
-            lambda r=recipients, e=envelope: self._deliver_many(r, e),
+            partial(self._deliver_many, recipients, envelope),
         )
 
     def _flush_groups(
@@ -459,3 +458,13 @@ class Network:
 
         pending = self._pending.get(recipient)
         return len(pending) if pending else 0
+
+    def buffered_envelopes(self):
+        """Iterate every sleep-buffered envelope (all recipients).
+
+        Snapshot capture scans these alongside the calendar's in-flight
+        deliveries to find views whose protocol state is still reachable.
+        """
+
+        for buffered in self._pending.values():
+            yield from buffered

@@ -200,6 +200,29 @@ class Simulator:
             slot[prio].append(callback)
         self._live += 1
 
+    def pending_callbacks(self):
+        """Iterate the callbacks of every live pending event.
+
+        Snapshot capture scans these (``functools.partial`` args expose
+        in-flight envelopes) to decide which per-view protocol state is
+        still reachable.  Cancelled events are skipped; order is
+        unspecified.
+        """
+
+        for slot in self._buckets.values():
+            if isinstance(slot, list):  # promoted bucket: list per priority
+                entries = (entry for events in slot for entry in events)
+            elif isinstance(slot, tuple):  # (priority, callback) single slot
+                entries = (slot[1],)
+            else:  # a lone ScheduledEvent
+                entries = (slot,)
+            for entry in entries:
+                if entry.__class__ is ScheduledEvent:
+                    if not entry.cancelled:
+                        yield entry.callback
+                else:
+                    yield entry
+
     @staticmethod
     def cancel(event: ScheduledEvent) -> None:
         """Cancel a scheduled event (lazy removal from its bucket).

@@ -27,6 +27,7 @@ protocol timers, so a validator waking at ``t`` participates fully at ``t``.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Protocol
 
 from repro.net.network import Network
@@ -101,14 +102,14 @@ class SleepController:
                     self._sim.schedule(
                         time,
                         EventPriority.CONTROL,
-                        lambda v=vid: self._wake(v),
+                        partial(self._wake, vid),
                         note=f"wake v{vid}",
                     )
                 else:
                     self._sim.schedule(
                         time,
                         EventPriority.CONTROL,
-                        lambda v=vid: self._sleep(v),
+                        partial(self._sleep, vid),
                         note=f"sleep v{vid}",
                     )
         for corruption in self._corruption.corruption_events():
@@ -117,11 +118,95 @@ class SleepController:
             self._sim.schedule(
                 max(corruption.effective_at, 0),
                 EventPriority.CONTROL,
-                lambda c=corruption: self._corrupt(c.validator),
+                partial(self._corrupt, corruption.validator),
                 note=f"corrupt v{corruption.validator}",
             )
         if self._faults is not None:
             self._install_faults(horizon)
+
+    def extend_horizon(self, old_horizon: int, horizon: int) -> None:
+        """Install transitions/corruptions/faults in ``(old_horizon, horizon]``.
+
+        The companion of :meth:`TobSvdProtocol.extend_horizon`: events at or
+        before ``old_horizon`` are already in the calendar from the original
+        :meth:`install`, so only the extension window is added, in the same
+        family order install uses.
+        """
+
+        for vid, node in self._nodes.items():
+            if vid in self._corruption.initial_byzantine:
+                continue
+            for time, becomes_awake in self._schedule.transition_times(vid, horizon):
+                if time <= old_horizon:
+                    continue
+                self._sim.schedule(
+                    time,
+                    EventPriority.CONTROL,
+                    partial(self._wake if becomes_awake else self._sleep, vid),
+                    note=f"{'wake' if becomes_awake else 'sleep'} v{vid}",
+                )
+        for corruption in self._corruption.corruption_events():
+            if not old_horizon < corruption.effective_at <= horizon:
+                continue
+            self._sim.schedule(
+                corruption.effective_at,
+                EventPriority.CONTROL,
+                partial(self._corrupt, corruption.validator),
+                note=f"corrupt v{corruption.validator}",
+            )
+        if self._faults is None:
+            return
+        byzantine = self._corruption.initial_byzantine
+        for window in self._faults.crash_windows:
+            vid = window.validator
+            if vid not in self._nodes or vid in byzantine:
+                continue
+            if old_horizon < window.start <= horizon:
+                self._sim.schedule(
+                    window.start,
+                    EventPriority.CONTROL,
+                    partial(self._crash, vid),
+                    note=f"crash v{vid}",
+                )
+            if window.start <= horizon and old_horizon < window.end <= horizon:
+                self._sim.schedule(
+                    window.end,
+                    EventPriority.CONTROL,
+                    partial(self._recover, vid),
+                    note=f"recover v{vid}",
+                )
+        if self._bus is None:
+            return
+        for window in self._faults.partition_windows:
+            for vid in window.isolated:
+                if old_horizon < window.start <= horizon:
+                    self._sim.schedule(
+                        window.start,
+                        EventPriority.CONTROL,
+                        partial(self._partition_marker, "partition", vid),
+                        note=f"partition v{vid}",
+                    )
+                if window.start <= horizon and old_horizon < window.heal <= horizon:
+                    self._sim.schedule(
+                        window.heal,
+                        EventPriority.CONTROL,
+                        partial(self._partition_marker, "heal", vid),
+                        note=f"heal v{vid}",
+                    )
+
+    def adopt_fault_plan(self, plan, horizon: int) -> None:
+        """Adopt a fault plan mid-run (snapshot fork) and schedule its events.
+
+        Only sound when every window in ``plan`` starts strictly after the
+        current simulation time: the relative CONTROL-bucket order then
+        matches a from-genesis install, because install order (transitions →
+        corruptions → crash/recover → partition markers) is preserved — the
+        first two families are already in the restored calendar with lower
+        sequence numbers.
+        """
+
+        self._faults = plan
+        self._install_faults(horizon)
 
     def _install_faults(self, horizon: int) -> None:
         """Schedule the fault plan's crash/recover and partition markers."""
@@ -136,14 +221,14 @@ class SleepController:
             self._sim.schedule(
                 max(window.start, 0),
                 EventPriority.CONTROL,
-                lambda v=vid: self._crash(v),
+                partial(self._crash, vid),
                 note=f"crash v{vid}",
             )
             if window.end <= horizon:
                 self._sim.schedule(
                     window.end,
                     EventPriority.CONTROL,
-                    lambda v=vid: self._recover(v),
+                    partial(self._recover, vid),
                     note=f"recover v{vid}",
                 )
         if self._bus is None:
@@ -155,14 +240,14 @@ class SleepController:
                 self._sim.schedule(
                     max(window.start, 0),
                     EventPriority.CONTROL,
-                    lambda v=vid: self._partition_marker("partition", v),
+                    partial(self._partition_marker, "partition", vid),
                     note=f"partition v{vid}",
                 )
                 if window.heal <= horizon:
                     self._sim.schedule(
                         window.heal,
                         EventPriority.CONTROL,
-                        lambda v=vid: self._partition_marker("heal", v),
+                        partial(self._partition_marker, "heal", vid),
                         note=f"heal v{vid}",
                     )
 

@@ -1,0 +1,111 @@
+"""Fork-grid integration: forked sweeps are byte-identical to genesis runs.
+
+The acceptance oracle for the snapshot tier: expand a grid whose cells
+share warm-up prefixes (one fault axis over a fixed scenario), run it
+once from genesis and once through the snapshot tier, and require the
+record *bytes* to match.  The slow test covers the full 32-cell grid
+the CI integration step pins; the quick tests keep the same oracle in
+the default suite at a smaller size.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.sweep import (
+    ExperimentSpec,
+    SnapshotStore,
+    canonical_record,
+    run_cell,
+    run_sweep,
+)
+
+
+def crash_arm(crash_view, crash_count=1, crash_deltas=4, seed=0):
+    return json.dumps(
+        {
+            "crash_count": crash_count,
+            "crash_view": crash_view,
+            "crash_deltas": crash_deltas,
+            "seed": seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def record_lines(outcome):
+    return [canonical_record(record) for record in outcome.sorted_records()]
+
+
+def test_quick_fork_grid_matches_genesis(tmp_path):
+    spec = ExperimentSpec(
+        name="fork-grid-quick", ns=(5,), num_views=10, seeds=2,
+        txs_per_cell=4, fault_specs=("", crash_arm(6), crash_arm(7)),
+    )
+    genesis = run_sweep(spec)
+    forked = run_sweep(spec, snapshot_dir=str(tmp_path / "snaps"))
+    assert record_lines(forked) == record_lines(genesis)
+    assert forked.cache["snapshot"]["forks"] == 4  # 2 seeds x 2 crash arms
+
+
+@pytest.mark.slow
+def test_fork_grid_32_cells_matches_genesis_serial_run(tmp_path):
+    """The CI fork-grid gate: 32 cells, every record byte-identical."""
+
+    spec = ExperimentSpec(
+        name="fork-grid", ns=(8,), num_views=12, seeds=4, txs_per_cell=6,
+        fault_specs=(
+            "",
+            crash_arm(6),
+            crash_arm(7),
+            crash_arm(8),
+            crash_arm(9),
+            crash_arm(7, crash_count=2),
+            crash_arm(8, crash_deltas=8),
+            crash_arm(9, seed=1),
+        ),
+    )
+    cells = spec.expand()
+    assert len(cells) == 32
+
+    genesis = run_sweep(spec)
+    serial = run_sweep(spec, snapshot_dir=str(tmp_path / "serial"))
+    assert record_lines(serial) == record_lines(genesis)
+    # Every faulted cell forked instead of replaying its warm-up.
+    assert serial.cache["snapshot"]["forks"] == 28
+
+    parallel = run_sweep(
+        spec, workers=2, snapshot_dir=str(tmp_path / "parallel")
+    )
+    assert record_lines(parallel) == record_lines(genesis)
+
+
+@pytest.mark.slow
+def test_fork_grid_cells_are_individually_identical(tmp_path):
+    """Per-cell fork identity over the same grid (the fork-identity suite)."""
+
+    spec = ExperimentSpec(
+        name="fork-id", ns=(8,), num_views=12, seeds=2, txs_per_cell=6,
+        fault_specs=("", crash_arm(6), crash_arm(8, crash_count=2)),
+    )
+    store = SnapshotStore(tmp_path / "snaps")
+    for cell in spec.expand():
+        genesis_line = canonical_record(run_cell(cell))
+        forked_line = canonical_record(run_cell(cell, snapshot_store=store))
+        assert forked_line == genesis_line, f"cell {cell.cell_id} diverged"
+    assert store.stats()["forks"] == 4
+
+
+def test_warmup_views_sweep_matches_genesis(tmp_path):
+    spec = ExperimentSpec(
+        name="warm", ns=(5,), num_views=10, seeds=2, txs_per_cell=4,
+    )
+    genesis = run_sweep(spec)
+    forked = run_sweep(
+        spec, snapshot_dir=str(tmp_path / "snaps"), warmup_views=4
+    )
+    assert record_lines(forked) == record_lines(genesis)
+    assert forked.cache["snapshot"]["forks"] == 2

@@ -1,0 +1,179 @@
+"""Property tests for the snapshot/fork engine.
+
+Two families of randomized evidence:
+
+* **Fork identity** — for random (scenario × seed × fork-view) triples,
+  a run saved at the fork view and resumed to the end produces the same
+  decision trace and the same Table-1 reducer values (blocks, safety,
+  phases per block, confirmation latencies) as the uninterrupted run;
+  at the harness level, forked cells produce byte-identical records.
+* **Blob canonicality** — ``Snapshot.from_bytes(b).to_bytes() == b`` for
+  real captures and for synthetic metas/payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.chain.transactions import TransactionPool
+from repro.harness.scenarios import stable_scenario
+from repro.harness.sweep import Cell, SnapshotStore, canonical_record, run_cell
+from repro.snapshot import Snapshot, SnapshotMeta, fork, snapshot_id, warm_snapshot
+
+RNG_SEED = 20260808
+
+
+def build_run(n, num_views, delta, seed, txs_per_view=1):
+    """A stable scenario with the anchored-transaction fixture."""
+
+    pool = TransactionPool()
+    protocol = stable_scenario(
+        n=n, num_views=num_views, delta=delta, seed=seed,
+        pool=pool, trace_mode="full",
+    )
+    view_ticks = protocol.config.time.view_ticks
+    txs = [
+        pool.submit(payload=f"prop-{view}-{i}", at_time=view * view_ticks - 1)
+        for view in range(1, max(2, num_views - 3))
+        for i in range(txs_per_view)
+    ]
+    analysis = protocol.observability.analysis
+    for tx in txs:
+        analysis.watch(tx)
+    return protocol, txs
+
+
+def decisions_of(result):
+    return [
+        (e.time, e.view, e.validator, e.log.log_id)
+        for e in result.trace.decisions
+    ]
+
+
+def table1_values(protocol, result, txs, delta):
+    """The reducer values Table 1 is built from."""
+
+    analysis = protocol.observability.analysis
+    return {
+        "safe": bool(analysis.safety().safe),
+        "blocks": analysis.new_blocks,
+        "phases": analysis.voting_phases_per_block("tobsvd"),
+        "latencies": analysis.confirmation_times_deltas(txs, delta),
+        "deliveries": result.network.stats.weighted_deliveries,
+    }
+
+
+def test_random_triples_fork_to_identical_runs():
+    rng = random.Random(RNG_SEED)
+    for _ in range(6):
+        n = rng.choice([4, 5, 7, 8])
+        num_views = rng.choice([8, 10, 12])
+        delta = rng.choice([1, 2])
+        seed = rng.randrange(1 << 16)
+        view = rng.randint(1, num_views - 1)
+
+        baseline, base_txs = build_run(n, num_views, delta, seed)
+        base_result = baseline.run()
+        expected_decisions = decisions_of(base_result)
+        expected_values = table1_values(baseline, base_result, base_txs, delta)
+
+        warmed, _ = build_run(n, num_views, delta, seed)
+        snap = warm_snapshot(warmed, f"prop|n={n}|v={num_views}|d={delta}", view)
+        forked = fork(snap)
+        forked.advance(forked.config.horizon)
+        result = forked.finish()
+
+        assert decisions_of(result) == expected_decisions, (
+            f"decision divergence for n={n} views={num_views} "
+            f"delta={delta} seed={seed} fork-view={view}"
+        )
+        forked_values = table1_values(forked, result, list(forked.pool), delta)
+        assert forked_values == expected_values
+
+
+def test_random_cells_produce_byte_identical_forked_records(tmp_path):
+    rng = random.Random(RNG_SEED + 1)
+    for index in range(6):
+        n = rng.choice([5, 8])
+        num_views = rng.choice([10, 12])
+        crash_view = rng.randint(num_views // 2, num_views - 2)
+        faults = json.dumps(
+            {
+                "crash_count": rng.randint(1, 2),
+                "crash_view": crash_view,
+                "crash_deltas": rng.randint(2, 8),
+                "seed": rng.randrange(1 << 8),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        cell = Cell(
+            spec_name="prop", protocol="tobsvd", n=n, f=0, delta=2,
+            attacker="none", participation="stable",
+            seed_index=rng.randrange(4), num_views=num_views,
+            txs_per_cell=4, faults=faults,
+        )
+        store = SnapshotStore(tmp_path / f"store-{index}")
+        genesis = canonical_record(run_cell(cell))
+        forked = canonical_record(run_cell(cell, snapshot_store=store))
+        assert forked == genesis, f"record divergence for cell {cell.cell_id}"
+        assert store.stats()["forks"] >= 1  # the tier actually engaged
+
+
+def test_warmup_views_fork_is_identical_for_fault_free_cells(tmp_path):
+    rng = random.Random(RNG_SEED + 2)
+    for index in range(3):
+        cell = Cell(
+            spec_name="prop", protocol="tobsvd", n=rng.choice([4, 5]), f=0,
+            delta=2, attacker="none", participation=rng.choice(
+                ["stable", "churn"]
+            ),
+            seed_index=rng.randrange(4), num_views=10, txs_per_cell=4,
+        )
+        store = SnapshotStore(tmp_path / f"warm-{index}")
+        warmup = rng.randint(1, 9)
+        genesis = canonical_record(run_cell(cell))
+        forked = canonical_record(
+            run_cell(cell, snapshot_store=store, warmup_views=warmup)
+        )
+        assert forked == genesis
+        assert store.stats()["forks"] == 1
+
+
+def test_real_blob_roundtrips_are_canonical():
+    rng = random.Random(RNG_SEED + 3)
+    for _ in range(3):
+        protocol, _ = build_run(
+            rng.choice([4, 5]), 8, rng.choice([1, 2]), rng.randrange(1 << 16)
+        )
+        snap = warm_snapshot(protocol, "prop-blob", rng.randint(1, 7))
+        blob = snap.to_bytes()
+        assert Snapshot.from_bytes(blob).to_bytes() == blob
+
+
+def test_synthetic_blob_roundtrips_are_canonical():
+    rng = random.Random(RNG_SEED + 4)
+    for _ in range(20):
+        scenario = "".join(
+            rng.choice("abc|=_0123456789") for _ in range(rng.randint(1, 40))
+        )
+        seed = rng.randrange(1 << 32)
+        view = rng.randint(1, 64)
+        meta = SnapshotMeta(
+            snapshot_id=snapshot_id(scenario, seed, view),
+            scenario_key=scenario,
+            seed=seed,
+            view=view,
+            tick=rng.randrange(1 << 20),
+            n=rng.randint(1, 512),
+            num_views=rng.randint(1, 128),
+            delta=rng.randint(1, 16),
+            trace_mode=rng.choice(["full", "bounded", "off"]),
+        )
+        payload = rng.randbytes(rng.randrange(0, 4096))
+        blob = Snapshot(meta, payload).to_bytes()
+        loaded = Snapshot.from_bytes(blob)
+        assert loaded.to_bytes() == blob
+        assert loaded.meta == meta
+        assert loaded.payload == payload

@@ -225,6 +225,53 @@ class TestCompliance:
         with pytest.raises(ValueError):
             check_compliance(model, 0, 0, rho=0.0, horizon=1)
 
+    def test_piecewise_walk_matches_tick_by_tick_sweep(self):
+        # The change-point walk must reproduce the exhaustive per-tick
+        # report exactly — violations, min margin, and its first time —
+        # over random schedules and corruption plans.
+        import random
+
+        rng = random.Random(20260808)
+        for _ in range(25):
+            n = rng.randint(3, 9)
+            horizon = rng.randint(20, 120)
+            churners = [vid for vid in range(n) if rng.random() < 0.5]
+            schedule = AwakeSchedule.random_churn(
+                n, horizon, rng, churners,
+                min_awake=rng.randint(5, 15), min_asleep=rng.randint(2, 6),
+            )
+            plan = CorruptionPlan.none()
+            if rng.random() < 0.5:
+                plan = CorruptionPlan.static(
+                    frozenset(rng.sample(range(n), rng.randint(0, n // 3)))
+                )
+            for _ in range(rng.randint(0, 2)):
+                plan = plan.with_corruption(
+                    rng.randint(0, horizon), rng.randrange(n), delta=4
+                )
+            model = ParticipationModel(schedule=schedule, corruption=plan)
+            t_b, t_s = rng.choice([(0, 0), (10, 4), (20, 8)])
+
+            report = check_compliance(model, t_b, t_s, rho=0.5, horizon=horizon)
+
+            # Naive reference: evaluate every tick through the public API.
+            expected_violations = []
+            expected_margin, expected_time = float("inf"), -1
+            for time in range(horizon + 1):
+                byzantine = len(model.byzantine_at(time + t_b))
+                bound = 0.5 * len(model.active_at(time, t_b, t_s))
+                if bound - byzantine < expected_margin:
+                    expected_margin = bound - byzantine
+                    expected_time = time
+                if byzantine >= bound:
+                    expected_violations.append((time, byzantine, bound))
+
+            assert report.min_margin == expected_margin
+            assert report.min_margin_time == expected_time
+            assert [
+                (v.time, v.byzantine_count, v.bound) for v in report.violations
+            ] == expected_violations
+
 
 class TestMaxTolerable:
     @pytest.mark.parametrize(
