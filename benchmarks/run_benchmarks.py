@@ -52,6 +52,12 @@ so the gap to ``sweep.cells_per_sec_grid32`` is the lease/wire
 overhead.  Real-process numbers are noisier than in-process ones — gate
 this family generously (``--tolerance 'fleet.*=0.9'``).
 
+The ``node.*`` family measures the real-transport runtime: fleet-wide
+decisions/sec of an n=4 loopback-TCP deployment of unmodified
+validators in logical-tick lockstep (``repro deploy local``'s engine).
+Dominated by done-barrier round trips across four OS processes — gate
+it like the other real-process family (``--tolerance 'node.*=0.9'``).
+
 The ``snapshot.*`` family measures the snapshot/fork engine: captures
 per second of a warmed n=8 run (``snapshot.save_n8``), forked
 continuations vs the same scenario replayed from genesis
@@ -622,6 +628,35 @@ def _measure_fleet_family(smoke: bool) -> dict[str, float]:
     return {"fleet.cells_per_sec_w2": round(len(cells) / best, 2)}
 
 
+NODE_FAMILY_OPS = ("node.decisions_per_sec_loopback_n4",)
+
+
+def _measure_node_family(smoke: bool) -> dict[str, float]:
+    """Real-transport runtime throughput: an n=4 loopback deployment.
+
+    Four node processes over loopback TCP (``repro deploy local``'s
+    engine), each hosting an unmodified validator in logical-tick
+    lockstep.  The figure is decided-log events per wall-clock second
+    across the fleet — dominated by the per-tick done-barrier round
+    trips, so it tracks transport overhead rather than protocol cost.
+    Process spawn and port allocation are inside the measurement (they
+    are part of what a deployment costs), hence the generous CI
+    tolerance (``--tolerance 'node.*=0.9'``).
+    """
+
+    from repro.core.tobsvd import TobSvdConfig
+    from repro.node.deploy import run_local_deployment
+
+    config = TobSvdConfig(n=4, num_views=4, delta=1, seed=7)
+    passes = 1 if smoke else 3
+    best = 0.0
+    for _ in range(passes):
+        deployment = run_local_deployment(config)
+        assert deployment.total_decisions > 0
+        best = max(best, deployment.decisions_per_sec())
+    return {"node.decisions_per_sec_loopback_n4": round(best, 2)}
+
+
 FAULT_FAMILY_OPS = ("faults.overhead_off",)
 
 
@@ -967,6 +1002,9 @@ def main(argv: list[str] | None = None) -> int:
     fleet_family_wanted = args.only is None or any(
         args.only in name for name in FLEET_FAMILY_OPS
     )
+    node_family_wanted = args.only is None or any(
+        args.only in name for name in NODE_FAMILY_OPS
+    )
     snapshot_family_wanted = args.only is None or any(
         args.only in name for name in SNAPSHOT_FAMILY_OPS
     )
@@ -977,6 +1015,7 @@ def main(argv: list[str] | None = None) -> int:
             and not sweep_family_wanted
             and not fault_family_wanted
             and not fleet_family_wanted
+            and not node_family_wanted
             and not snapshot_family_wanted
         ):
             print(f"error: --only {args.only!r} matches no ops", file=sys.stderr)
@@ -1010,6 +1049,12 @@ def main(argv: list[str] | None = None) -> int:
         for name, value in fleet_results.items():
             print(f"{name:40s} {value:>14,.1f} cells/sec", flush=True)
         results.update(fleet_results)
+
+    if node_family_wanted:
+        node_results = _measure_node_family(args.smoke)
+        for name, value in node_results.items():
+            print(f"{name:40s} {value:>14,.1f} decisions/sec", flush=True)
+        results.update(node_results)
 
     if snapshot_family_wanted:
         snapshot_results = _measure_snapshot_family(args.smoke, args.only)

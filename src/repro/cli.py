@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Eight subcommands front the experiment subsystem:
+Ten subcommands front the experiment subsystem:
 
 * ``run`` — execute one named scenario under a chosen trace-retention
   policy (``--trace full|bounded|off``, default bounded) and print live
@@ -22,6 +22,11 @@ Eight subcommands front the experiment subsystem:
   (``snapshot fork``), and inspect a store (``snapshot ls``);
 * ``bisect`` — binary-search the first view where a predicate fails,
   forking snapshots instead of replaying warm-ups from genesis;
+* ``node`` — ONE protocol node over real TCP against an explicit peer
+  address map (the per-host face of the real-transport runtime);
+* ``deploy local`` — ``n`` node processes over loopback TCP,
+  byte-compared against the simulator oracle (``--chaos kill`` turns
+  planned crash windows into real SIGKILL + resync-on-respawn);
 * ``bench`` — the machine-readable micro/e2e benchmark harness
   (delegates to ``benchmarks/run_benchmarks.py``).
 
@@ -886,6 +891,146 @@ def _cmd_fleet_local(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# node / deploy
+# ---------------------------------------------------------------------------
+
+
+def _parse_peer_map(text: str) -> dict[int, tuple[str, int]]:
+    """``--peers`` value: ``0=127.0.0.1:9000,1=127.0.0.1:9001,...``."""
+
+    addresses: dict[int, tuple[str, int]] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            node, endpoint = part.split("=", 1)
+            host, port = endpoint.rsplit(":", 1)
+            addresses[int(node)] = (host, int(port))
+        except ValueError:
+            raise SystemExit(f"error: bad --peers entry {part!r} "
+                             "(want ID=HOST:PORT)")
+    if not addresses:
+        raise SystemExit("error: --peers is empty")
+    return addresses
+
+
+def _node_config(args: argparse.Namespace):
+    from repro.core.tobsvd import TobSvdConfig
+
+    return TobSvdConfig(n=args.n, num_views=args.views, delta=args.delta,
+                        seed=args.seed)
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    """One protocol node over real TCP: the per-host runtime."""
+
+    from repro.net.transport import TcpTransport
+    from repro.node.deploy import compile_deployment_plan
+    from repro.node.failure import FailureDetector
+    from repro.node.runtime import NodeRuntime
+
+    addresses = _parse_peer_map(args.peers)
+    if args.id not in addresses:
+        print(f"error: --id {args.id} is not in the peer map", file=sys.stderr)
+        return 1
+    if len(addresses) != args.n:
+        print(f"error: peer map has {len(addresses)} entries for --n {args.n}",
+              file=sys.stderr)
+        return 1
+    config = _node_config(args)
+    plan = (
+        compile_deployment_plan(_parse_fault_spec(args.faults), config)
+        if args.faults else None
+    )
+    detector = FailureDetector(
+        (peer for peer in addresses if peer != args.id),
+        timeout=args.suspicion_timeout,
+    )
+    transport = TcpTransport(args.id, addresses, on_heard=detector.heard)
+    runtime = NodeRuntime(
+        args.id,
+        config,
+        transport,
+        fault_plan=plan,
+        chaos=args.chaos,
+        resumed=args.resumed,
+        detector=detector,
+        progress_timeout=args.progress_timeout,
+    )
+    try:
+        result = runtime.run()
+        transport.flush(timeout=10.0)
+        result["link_stats"] = transport.link_stats()
+        result["suspicions"] = detector.suspicions
+    finally:
+        transport.close()
+    text = json.dumps(result, sort_keys=True, indent=2)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"node {args.id}: {len(result['decided'])} decisions -> {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_deploy_local(args: argparse.Namespace) -> int:
+    """n node processes over loopback TCP, checked against the sim oracle."""
+
+    from repro.node.deploy import (
+        compare_to_oracle,
+        compile_deployment_plan,
+        run_local_deployment,
+    )
+
+    config = _node_config(args)
+    spec = _parse_fault_spec(args.faults) if args.faults else None
+    deployment = run_local_deployment(
+        config,
+        fault_spec=spec,
+        chaos=args.chaos,
+        suspicion_timeout=args.suspicion_timeout,
+        progress_timeout=args.progress_timeout,
+    )
+    restarts = (
+        f", restarts {dict(sorted(deployment.restarts.items()))}"
+        if deployment.restarts else ""
+    )
+    print(
+        f"deploy local: n={config.n} views={config.num_views} "
+        f"delta={config.delta} seed={config.seed} — "
+        f"{deployment.total_decisions} decisions in {deployment.elapsed:.2f}s "
+        f"({deployment.decisions_per_sec():.1f}/s){restarts}"
+    )
+    code = 0
+    if not args.no_verify:
+        plan = compile_deployment_plan(spec, config) if spec else None
+        report = compare_to_oracle(config, deployment.nodes, plan)
+        verdict = "byte-identical" if report["identical"] else "DIVERGED"
+        print(f"oracle check: {verdict} "
+              f"({sum(report['per_node'].values())}/{len(report['per_node'])} nodes)")
+        if not report["identical"]:
+            for vid, same in sorted(report["per_node"].items()):
+                if not same:
+                    print(f"  node {vid}: decisions differ from simulator",
+                          file=sys.stderr)
+            code = 1
+    if args.out:
+        payload = {
+            "config": {"n": config.n, "views": config.num_views,
+                       "delta": config.delta, "seed": config.seed},
+            "elapsed": deployment.elapsed,
+            "restarts": deployment.restarts,
+            "nodes": deployment.nodes,
+        }
+        Path(args.out).write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+    return code
+
+
+# ---------------------------------------------------------------------------
 # bench
 # ---------------------------------------------------------------------------
 
@@ -1234,6 +1379,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force a snapshot boundary for fault-free "
                        "cells (needs --snapshot-dir)")
     local.set_defaults(func=_cmd_fleet_local)
+
+    def add_node_run_args(target: argparse.ArgumentParser) -> None:
+        """The run-shape flags shared by ``node`` and ``deploy local``."""
+
+        target.add_argument("--n", type=int, default=4, help="validator count")
+        target.add_argument("--views", type=int, default=4, help="views per run")
+        target.add_argument("--delta", type=int, default=1, help="Δ in ticks")
+        target.add_argument("--seed", type=int, default=0, help="run seed")
+        target.add_argument("--faults", default=None, metavar="JSON|@FILE",
+                            help="FaultSpec as inline JSON or @path; crash "
+                            "windows become sleep windows (or real process "
+                            "kills under --chaos kill)")
+        target.add_argument("--chaos", choices=("sleep", "kill"),
+                            default="sleep",
+                            help="how a planned crash window manifests: "
+                            "cooperative sleep (sim-exact) or a real SIGKILL "
+                            "with resync-on-respawn")
+        target.add_argument("--suspicion-timeout", type=float, default=10.0,
+                            help="seconds of silence before a peer is "
+                            "suspected and no longer waited for")
+        target.add_argument("--progress-timeout", type=float, default=120.0,
+                            help="seconds without tick progress before the "
+                            "runtime aborts")
+
+    node = sub.add_parser(
+        "node",
+        help="run ONE protocol node over real TCP (peers given explicitly)",
+    )
+    node.add_argument("--id", type=int, required=True, help="this node's id")
+    node.add_argument("--peers", required=True, metavar="MAP",
+                      help="full address map: 0=HOST:PORT,1=HOST:PORT,... "
+                      "(must include --id; entry count must equal --n)")
+    add_node_run_args(node)
+    node.add_argument("--resumed", action="store_true",
+                      help="rejoin after a crash: resync history from peers "
+                      "and replay before re-entering the quorum")
+    node.add_argument("--out", default=None,
+                      help="write the result JSON here instead of stdout")
+    node.set_defaults(func=_cmd_node)
+
+    deploy = sub.add_parser(
+        "deploy",
+        help="real-transport deployments of unmodified validators",
+    )
+    deploy_sub = deploy.add_subparsers(dest="deploy_command", required=True)
+    deploy_local = deploy_sub.add_parser(
+        "local",
+        help="n node processes over loopback TCP, byte-checked "
+        "against the simulator oracle",
+    )
+    add_node_run_args(deploy_local)
+    deploy_local.add_argument("--no-verify", action="store_true",
+                              help="skip the sim-oracle byte comparison")
+    deploy_local.add_argument("--out", default=None,
+                              help="write the full deployment JSON here")
+    deploy_local.set_defaults(func=_cmd_deploy_local)
 
     sub.add_parser(
         "bench",

@@ -336,6 +336,42 @@ class FaultPlan:
             or self.partition_windows
         )
 
+    # -- process-level chaos (node runtime reuse) ----------------------------
+
+    def crash_window_for(self, validator: int) -> CrashWindow | None:
+        """This validator's (earliest) crash window, or None.
+
+        The node runtime interprets the window at process level: in kill
+        mode the hosting process SIGKILLs itself at ``start`` and the
+        respawned process replays with the validator asleep over
+        ``[start, end)`` — the same window the simulator oracle applies
+        via the sleep controller, which is what keeps the kill-and-rejoin
+        deployment byte-identical to the sim.
+        """
+
+        chosen: CrashWindow | None = None
+        for window in self.crash_windows:
+            if window.validator == validator and (
+                chosen is None or window.start < chosen.start
+            ):
+                chosen = window
+        return chosen
+
+    def kill_schedule(self) -> dict[int, tuple[int, int]]:
+        """``validator -> (kill_tick, wake_tick)`` for process-level chaos.
+
+        One entry per crashed validator (compile assigns each victim a
+        single merged window); the deploy harness uses it to know which
+        processes will self-kill and when to expect them back.
+        """
+
+        schedule: dict[int, tuple[int, int]] = {}
+        for window in self.crash_windows:
+            known = schedule.get(window.validator)
+            if known is None or window.start < known[0]:
+                schedule[window.validator] = (window.start, window.end)
+        return schedule
+
     # -- stateless per-message decisions ------------------------------------
 
     def _unit(self, kind: str, sender: int, recipient: int, digest: str, time: int) -> float:

@@ -1,0 +1,173 @@
+"""Envelope <-> JSON codec for the real transport.
+
+The in-sim network hands validators live :class:`Envelope` objects; the
+socket transport ships canonical-JSON frames.  This codec bridges the
+two *losslessly with respect to content identity*: every digest in the
+system (block ids, payload digests, ``envelope_id``) is a pure function
+of the serialized fields, so a decoded envelope re-derives exactly the
+ids the sender's object carried — signatures verify, dedup tokens
+collapse wire copies with local originals, and the sim-oracle
+equivalence contract (docs/ARCHITECTURE.md) survives the round trip.
+
+Logs are re-validated on decode: blocks are rebuilt bottom-up and handed
+to the validating :class:`~repro.chain.log.Log` constructor, so a
+corrupt or malicious peer cannot smuggle a log with broken parent links
+past the codec.  Floats (the single VRF ``value`` field) round-trip
+exactly through JSON (``repr``-based encoding), so VRF comparisons are
+bit-identical across the wire.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block
+from repro.chain.genesis import GENESIS_BLOCK
+from repro.chain.log import Log
+from repro.chain.transactions import Transaction
+from repro.crypto.signatures import Signature
+from repro.crypto.vrf import VrfOutput
+from repro.net.messages import (
+    Envelope,
+    LogMessage,
+    Payload,
+    ProposalMessage,
+    RecoveryMessage,
+    StructuralVote,
+    VoteMessage,
+)
+
+
+class CodecError(ValueError):
+    """A wire dict does not describe a well-formed envelope."""
+
+
+def encode_log(log: Log) -> list:
+    """Serialize a log as its non-genesis blocks (genesis is implicit)."""
+
+    return [
+        {
+            "parent": block.parent_id,
+            "proposer": block.proposer,
+            "view": block.view,
+            "txs": [[tx.tx_id, tx.payload, tx.submitted_at] for tx in block.transactions],
+        }
+        for block in log.blocks[1:]
+    ]
+
+
+def decode_log(blocks: list) -> Log:
+    """Rebuild a log, re-validating genesis root and parent links."""
+
+    try:
+        rebuilt = [GENESIS_BLOCK]
+        for entry in blocks:
+            rebuilt.append(
+                Block(
+                    parent_id=entry["parent"],
+                    transactions=tuple(
+                        Transaction(tx_id=t[0], payload=t[1], submitted_at=t[2])
+                        for t in entry["txs"]
+                    ),
+                    proposer=entry["proposer"],
+                    view=entry["view"],
+                )
+            )
+        return Log(rebuilt)
+    except (KeyError, TypeError, IndexError, ValueError) as exc:
+        raise CodecError(f"malformed log on the wire: {exc}") from None
+
+
+def _encode_payload(payload: Payload) -> dict:
+    if isinstance(payload, LogMessage):
+        return {"kind": "log", "ga_key": list(payload.ga_key), "log": encode_log(payload.log)}
+    if isinstance(payload, ProposalMessage):
+        vrf = payload.vrf
+        return {
+            "kind": "proposal",
+            "view": payload.view,
+            "log": encode_log(payload.log),
+            "vrf": {
+                "validator_id": vrf.validator_id,
+                "view": vrf.view,
+                "value": vrf.value,
+                "proof": vrf.proof,
+            },
+        }
+    if isinstance(payload, VoteMessage):
+        return {"kind": "vote", "ga_key": list(payload.ga_key), "log": encode_log(payload.log)}
+    if isinstance(payload, StructuralVote):
+        return {
+            "kind": "svote",
+            "protocol": payload.protocol,
+            "view": payload.view,
+            "phase_index": payload.phase_index,
+            "log": encode_log(payload.log),
+        }
+    if isinstance(payload, RecoveryMessage):
+        return {"kind": "recovery", "requested_at": payload.requested_at}
+    raise CodecError(f"unknown payload type {type(payload).__name__}")
+
+
+def _decode_payload(data: dict) -> Payload:
+    try:
+        kind = data["kind"]
+        if kind == "log":
+            return LogMessage(ga_key=tuple(data["ga_key"]), log=decode_log(data["log"]))
+        if kind == "proposal":
+            vrf = data["vrf"]
+            return ProposalMessage(
+                view=data["view"],
+                log=decode_log(data["log"]),
+                vrf=VrfOutput(
+                    validator_id=vrf["validator_id"],
+                    view=vrf["view"],
+                    value=vrf["value"],
+                    proof=vrf["proof"],
+                ),
+            )
+        if kind == "vote":
+            return VoteMessage(ga_key=tuple(data["ga_key"]), log=decode_log(data["log"]))
+        if kind == "svote":
+            return StructuralVote(
+                protocol=data["protocol"],
+                view=data["view"],
+                phase_index=data["phase_index"],
+                log=decode_log(data["log"]),
+            )
+        if kind == "recovery":
+            return RecoveryMessage(requested_at=data["requested_at"])
+    except CodecError:
+        raise
+    except (KeyError, TypeError) as exc:
+        raise CodecError(f"malformed payload on the wire: {exc}") from None
+    raise CodecError(f"unknown payload kind {kind!r}")
+
+
+def encode_envelope(envelope: Envelope) -> dict:
+    """One envelope as a JSON-safe dict (payload + signature)."""
+
+    sig = envelope.signature
+    return {
+        "payload": _encode_payload(envelope.payload),
+        "sig": {"signer": sig.signer, "digest": sig.payload_digest, "tag": sig.tag},
+    }
+
+
+def decode_envelope(data: dict) -> Envelope:
+    """Rebuild an envelope; content ids re-derive from the decoded fields.
+
+    The signature is carried verbatim — verification stays where it
+    lives in the sim path (the network-facing ``broadcast``/delivery
+    layer), so a forged frame fails exactly as a forged envelope would.
+    """
+
+    try:
+        sig = data["sig"]
+        signature = Signature(
+            signer=sig["signer"], payload_digest=sig["digest"], tag=sig["tag"]
+        )
+        payload = _decode_payload(data["payload"])
+    except CodecError:
+        raise
+    except (KeyError, TypeError) as exc:
+        raise CodecError(f"malformed envelope on the wire: {exc}") from None
+    return Envelope(payload=payload, signature=signature)

@@ -1,0 +1,79 @@
+"""Timeout-based failure detection with degrade-to-asleep semantics.
+
+The runtime paces itself with a per-tick barrier (every live peer must
+confirm the previous tick before the next one runs), so a dead or
+stalled peer would freeze the whole deployment.  The failure detector is
+the escape hatch: a peer not heard from within ``timeout`` seconds is
+*suspected*, and the barrier simply stops waiting for it — exactly the
+sleepy model's "asleep" state (a crashed validator sends nothing; the
+protocol is designed to keep deciding without it).  Suspicion is
+pacing-only: it never mutates protocol state, so wall-clock-dependent
+suspicion timing cannot perturb the decision sequence; a suspected peer
+that speaks again is unsuspected on the next frame and the barrier
+resumes waiting for it (re-entry into the quorum).
+
+The clock is injectable so suspicion timing is unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+
+class FailureDetector:
+    """Last-heard bookkeeping plus a suspicion predicate over wall time."""
+
+    __slots__ = ("_timeout", "_clock", "_last_heard", "_suspected",
+                 "suspicions", "recoveries")
+
+    def __init__(
+        self,
+        peers: Iterable[int],
+        timeout: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("suspicion timeout must be positive")
+        self._timeout = timeout
+        self._clock = clock
+        now = clock()
+        # Every peer starts with a full timeout of grace: a process that
+        # is still forking/binding must not be suspected at tick 0.
+        self._last_heard: dict[int, float] = {peer: now for peer in peers}
+        self._suspected: set[int] = set()
+        # Counters are observability only (deploy summary / logs).
+        self.suspicions = 0
+        self.recoveries = 0
+
+    @property
+    def timeout(self) -> float:
+        return self._timeout
+
+    def heard(self, peer: int) -> None:
+        """Record life from ``peer`` (any frame counts, heartbeats included)."""
+
+        if peer not in self._last_heard:
+            return
+        self._last_heard[peer] = self._clock()
+        if peer in self._suspected:
+            self._suspected.discard(peer)
+            self.recoveries += 1
+
+    def is_suspected(self, peer: int) -> bool:
+        self._refresh()
+        return peer in self._suspected
+
+    def suspected(self) -> frozenset[int]:
+        """The currently suspected peers (evaluated against the clock now)."""
+
+        self._refresh()
+        return frozenset(self._suspected)
+
+    def _refresh(self) -> None:
+        now = self._clock()
+        for peer, last in self._last_heard.items():
+            if peer not in self._suspected and now - last > self._timeout:
+                self._suspected.add(peer)
+                self.suspicions += 1

@@ -1,0 +1,87 @@
+"""Holdback/dedup layer: at-least-once wire delivery -> exactly-once release.
+
+The socket transport is at-least-once by design: a reconnecting link
+resends its possibly-already-delivered head frame, forwards duplicate
+what broadcasts already carried, and a resync replays everything a peer
+retained.  The holdback queue absorbs all of that, keyed by the
+content-based ``envelope_id``:
+
+* the first copy of an envelope registers it, pending at its announced
+  delivery tick;
+* later copies only ever *lower* the pending tick (an original
+  broadcast, due at ``send + Δ``, beats a forwarded echo due later) —
+  matching the in-sim network where the direct copy always arrives
+  first;
+* once released, an id is remembered and every further copy is dropped,
+  so redelivery after reconnect is idempotent.
+
+Release order within a tick is sorted by ``(deliver_tick,
+envelope_id)`` — a deterministic order independent of wall-clock
+arrival.  (Decision state is set-based, so any fixed order preserves
+oracle equivalence; sorting makes replays reproducible byte-for-byte.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.net.messages import Envelope
+
+
+class HoldbackQueue:
+    """Pending envelopes keyed by envelope id, released by logical tick."""
+
+    __slots__ = ("_pending", "_released", "duplicates")
+
+    def __init__(self) -> None:
+        self._pending: dict[str, tuple[int, Envelope]] = {}
+        self._released: set[str] = set()
+        #: Wire copies absorbed without a new release (observability).
+        self.duplicates = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def offer(self, envelope: Envelope, deliver_tick: int) -> bool:
+        """Register one wire copy; True iff it was new (not a duplicate)."""
+
+        envelope_id = envelope.envelope_id
+        if envelope_id in self._released:
+            self.duplicates += 1
+            return False
+        known = self._pending.get(envelope_id)
+        if known is None:
+            self._pending[envelope_id] = (deliver_tick, envelope)
+            return True
+        self.duplicates += 1
+        if deliver_tick < known[0]:
+            self._pending[envelope_id] = (deliver_tick, known[1])
+        return False
+
+    def due(self, tick: int) -> list[tuple[int, Envelope]]:
+        """Release every envelope pending at or before ``tick``.
+
+        Returns ``(deliver_tick, envelope)`` pairs in deterministic
+        ``(deliver_tick, envelope_id)`` order; released ids are
+        permanently remembered for dedup.
+        """
+
+        ready = [
+            (deliver_tick, envelope_id)
+            for envelope_id, (deliver_tick, _) in self._pending.items()
+            if deliver_tick <= tick
+        ]
+        ready.sort()
+        released: list[tuple[int, Envelope]] = []
+        for deliver_tick, envelope_id in ready:
+            released.append((deliver_tick, self._pending.pop(envelope_id)[1]))
+            self._released.add(envelope_id)
+        return released
+
+    def pending(self) -> Iterator[tuple[int, Envelope]]:
+        """Iterate the not-yet-released entries (inspection/retention)."""
+
+        yield from self._pending.values()
+
+    def released_count(self) -> int:
+        return len(self._released)

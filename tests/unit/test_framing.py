@@ -1,0 +1,144 @@
+"""Framing hardening units: partial writes, EINTR, and read deadlines.
+
+``tests/unit/test_wire.py`` pins the codec contract through the fleet's
+legacy import path; this module covers what PR 10 added on top — the
+partial-write/``EINTR``-safe send loop and the per-frame read timeout
+that lets a connection supervisor reclaim its thread from a stalled
+peer.  All socket behaviour is exercised through fakes (no real sockets,
+no sleeps beyond one sub-100ms timeout check on a socketpair).
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.net.framing import (
+    FrameConnection,
+    FrameTimeoutError,
+    TruncatedStreamError,
+    WireError,
+    encode_frame,
+    read_frame,
+    send_frame_bytes,
+)
+
+
+class ChunkySocket:
+    """A fake socket whose ``send`` accepts at most ``chunk`` bytes."""
+
+    def __init__(self, chunk: int, interrupts: int = 0) -> None:
+        self.chunk = chunk
+        self.interrupts = interrupts
+        self.sent = bytearray()
+        self.send_calls = 0
+
+    def send(self, data) -> int:
+        self.send_calls += 1
+        if self.interrupts > 0:
+            self.interrupts -= 1
+            raise InterruptedError("EINTR")
+        take = min(self.chunk, len(data))
+        self.sent += bytes(data[:take])
+        return take
+
+
+class DeadSocket:
+    def send(self, data) -> int:
+        raise BrokenPipeError("peer is gone")
+
+
+class ZeroSocket:
+    def send(self, data) -> int:
+        return 0
+
+
+class TestSendLoop:
+    def test_partial_writes_reassemble_to_one_frame(self):
+        message = {"type": "env", "payload": "x" * 500}
+        frame = encode_frame(message)
+        for chunk in (1, 3, 7, 64):
+            sock = ChunkySocket(chunk)
+            send_frame_bytes(sock.send, frame)
+            assert bytes(sock.sent) == frame
+            assert sock.send_calls >= len(frame) // chunk
+
+    def test_eintr_is_retried_not_fatal(self):
+        frame = encode_frame({"k": "v"})
+        sock = ChunkySocket(chunk=4, interrupts=3)
+        send_frame_bytes(sock.send, frame)
+        assert bytes(sock.sent) == frame
+
+    def test_os_error_becomes_truncated_stream(self):
+        with pytest.raises(TruncatedStreamError):
+            send_frame_bytes(DeadSocket().send, encode_frame({}))
+
+    def test_zero_byte_send_is_not_spun_on(self):
+        with pytest.raises(TruncatedStreamError):
+            send_frame_bytes(ZeroSocket().send, encode_frame({"k": "v"}))
+
+    def test_frame_connection_send_uses_the_loop(self):
+        sock = ChunkySocket(chunk=2, interrupts=1)
+        conn = FrameConnection(sock)
+        conn.send({"n": 1})
+        assert read_frame(_reader_over(bytes(sock.sent))) == {"n": 1}
+
+
+def _reader_over(data: bytes):
+    view = memoryview(data)
+    offset = 0
+
+    def read(n: int) -> bytes:
+        nonlocal offset
+        take = min(n, len(view) - offset)
+        piece = bytes(view[offset : offset + take])
+        offset += take
+        return piece
+
+    return read
+
+
+class TestReadTimeout:
+    def test_silent_peer_raises_frame_timeout(self):
+        a, b = socket.socketpair()
+        try:
+            conn = FrameConnection(a, read_timeout=0.05)
+            with pytest.raises(FrameTimeoutError):
+                conn.recv()
+        finally:
+            a.close()
+            b.close()
+
+    def test_timeout_error_is_a_wire_error(self):
+        assert issubclass(FrameTimeoutError, WireError)
+
+    def test_per_call_override_beats_connection_default(self):
+        a, b = socket.socketpair()
+        try:
+            conn = FrameConnection(a, read_timeout=None)
+            with pytest.raises(FrameTimeoutError):
+                conn.recv(timeout=0.05)
+        finally:
+            a.close()
+            b.close()
+
+    def test_frames_still_flow_under_a_timeout(self):
+        a, b = socket.socketpair()
+        try:
+            writer = FrameConnection(b)
+            reader = FrameConnection(a, read_timeout=1.0)
+            writer.send({"seq": 7})
+            assert reader.recv() == {"seq": 7}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_close_still_returns_none(self):
+        a, b = socket.socketpair()
+        try:
+            reader = FrameConnection(a, read_timeout=1.0)
+            b.close()
+            assert reader.recv() is None
+        finally:
+            a.close()

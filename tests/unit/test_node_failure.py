@@ -1,0 +1,74 @@
+"""Failure-detector units: suspicion timing under an injected clock.
+
+Suspicion is pacing-only (the runtime merely stops waiting at the
+barrier), so these tests pin the *timing* semantics: grace at startup,
+suspicion strictly after the timeout, un-suspicion on any frame, and the
+transition counters the deploy summary reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.node.failure import FailureDetector
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def detector(timeout: float = 5.0):
+    clock = FakeClock()
+    return FailureDetector([1, 2, 3], timeout=timeout, clock=clock), clock
+
+
+class TestSuspicionTiming:
+    def test_fresh_peers_are_not_suspected(self):
+        fd, _ = detector()
+        assert fd.suspected() == frozenset()
+
+    def test_startup_grace_is_one_full_timeout(self):
+        fd, clock = detector(timeout=5.0)
+        clock.advance(5.0)
+        assert fd.suspected() == frozenset()  # exactly at the bound: alive
+        clock.advance(0.001)
+        assert fd.suspected() == frozenset({1, 2, 3})
+
+    def test_heard_resets_the_clock(self):
+        fd, clock = detector(timeout=5.0)
+        clock.advance(4.0)
+        fd.heard(2)
+        clock.advance(4.0)
+        assert fd.suspected() == frozenset({1, 3})
+        assert fd.is_suspected(2) is False
+
+    def test_suspected_peer_recovers_on_any_frame(self):
+        fd, clock = detector(timeout=1.0)
+        clock.advance(2.0)
+        assert fd.is_suspected(1)
+        fd.heard(1)
+        assert not fd.is_suspected(1)
+        assert fd.recoveries == 1
+
+    def test_transition_counters_count_transitions_not_polls(self):
+        fd, clock = detector(timeout=1.0)
+        clock.advance(2.0)
+        for _ in range(5):
+            fd.suspected()
+        assert fd.suspicions == 3  # one per peer, not per poll
+
+    def test_unknown_peer_is_ignored(self):
+        fd, _ = detector()
+        fd.heard(99)  # no KeyError, no new tracking
+        assert 99 not in fd.suspected()
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FailureDetector([1], timeout=0.0)
